@@ -1,0 +1,183 @@
+//! Criterion benches of the substrate crates: DRAM controller throughput,
+//! LP solver, workload generation, and per-architecture simulation speed —
+//! plus ablation benches for the design choices DESIGN.md calls out.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+use recross::config::ReCrossConfig;
+use recross::engine::ReCross;
+use recross::profile::analytic_profiles;
+use recross::{bandwidth_aware_partition, RegionBandwidth, RegionMap};
+use recross_bench::workloads::{dram, generator, standard_trace, Scale};
+use recross_dram::controller::{BusScope, Controller, ReadRequest, SchedulePolicy};
+use recross_dram::PhysAddr;
+use recross_nmp::accel::EmbeddingAccelerator;
+use recross_nmp::{CpuBaseline, RecNmp, TensorDimm, Trim};
+use recross_workload::rng::Xoshiro256pp;
+use recross_workload::zipf::Zipf;
+
+fn controller_requests(n: u64, salp: bool, dest: BusScope) -> Vec<ReadRequest> {
+    (0..n)
+        .map(|i| {
+            let mul = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ReadRequest {
+                id: i,
+                addr: PhysAddr {
+                    channel: 0,
+                    rank: (mul >> 7) as u32 % 2,
+                    bank_group: (mul >> 13) as u32 % 8,
+                    bank: (mul >> 23) as u32 % 4,
+                    row: (mul >> 31) as u32 % 4096,
+                    col_byte: ((mul >> 43) as u32 % 120) * 64,
+                },
+                bursts: 4,
+                ready_at: 0,
+                dest,
+                salp,
+                auto_precharge: false,
+                write: false,
+            }
+        })
+        .collect()
+}
+
+fn bench_controller(c: &mut Criterion) {
+    let mut g = c.benchmark_group("dram_controller");
+    for (name, dest, salp, policy) in [
+        (
+            "host_frfcfs",
+            BusScope::Channel,
+            false,
+            SchedulePolicy::FrFcfs,
+        ),
+        ("rank_nmp", BusScope::Rank, false, SchedulePolicy::FrFcfs),
+        ("bank_nmp", BusScope::Bank, false, SchedulePolicy::FrFcfs),
+        (
+            "bank_salp_las",
+            BusScope::Bank,
+            true,
+            SchedulePolicy::LocalityAware,
+        ),
+    ] {
+        g.bench_function(name, |b| {
+            let reqs = controller_requests(2_000, salp, dest);
+            b.iter(|| {
+                let mut ctl = Controller::new(dram(), policy);
+                for r in &reqs {
+                    ctl.enqueue(*r);
+                }
+                black_box(ctl.run().len())
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_lp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("lp_solver");
+    let gen = generator(Scale::Quick, 64);
+    let profiles = analytic_profiles(&gen);
+    let cfg = ReCrossConfig::default();
+    let map = RegionMap::new(&cfg);
+    let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
+    // Ablation: PWL segment count (solution quality vs solve time).
+    for segments in [4usize, 16, 32] {
+        g.bench_with_input(
+            BenchmarkId::new("bwp_partition_segments", segments),
+            &segments,
+            |b, &segments| {
+                b.iter(|| {
+                    black_box(
+                        bandwidth_aware_partition(&profiles, &map, &bw, 32.0, segments)
+                            .expect("feasible"),
+                    )
+                })
+            },
+        );
+    }
+    g.finish();
+}
+
+fn bench_workload(c: &mut Criterion) {
+    let mut g = c.benchmark_group("workload");
+    g.bench_function("zipf_sampling_1m_rows", |b| {
+        let z = Zipf::new(1_000_000, 1.0).expect("valid");
+        let mut rng = Xoshiro256pp::seed_from_u64(1);
+        b.iter(|| {
+            let mut acc = 0u64;
+            for _ in 0..10_000 {
+                acc = acc.wrapping_add(z.sample(&mut rng));
+            }
+            black_box(acc)
+        })
+    });
+    g.bench_function("trace_generation", |b| {
+        let gen = generator(Scale::Tiny, 64);
+        b.iter(|| black_box(gen.generate(7).lookups()))
+    });
+    g.finish();
+}
+
+fn bench_accelerators(c: &mut Criterion) {
+    let mut g = c.benchmark_group("accelerators");
+    g.sample_size(10);
+    let (gen, trace) = standard_trace(Scale::Tiny, 64);
+    g.bench_function("cpu", |b| {
+        b.iter(|| black_box(CpuBaseline::new(dram()).run(&trace).cycles))
+    });
+    g.bench_function("tensordimm", |b| {
+        b.iter(|| black_box(TensorDimm::new(dram()).run(&trace).cycles))
+    });
+    g.bench_function("recnmp", |b| {
+        b.iter(|| black_box(RecNmp::new(dram()).run(&trace).cycles))
+    });
+    g.bench_function("trim_g", |b| {
+        b.iter(|| black_box(Trim::bank_group(dram()).run(&trace).cycles))
+    });
+    g.bench_function("trim_b", |b| {
+        b.iter(|| black_box(Trim::bank(dram()).run(&trace).cycles))
+    });
+    g.bench_function("recross", |b| {
+        let profiles = analytic_profiles(&gen);
+        let mut sys = ReCross::new(ReCrossConfig::default(), profiles, 2.0).expect("fits");
+        b.iter(|| black_box(sys.run(&trace).cycles))
+    });
+    g.finish();
+}
+
+fn bench_ablations(c: &mut Criterion) {
+    // Simulated-cycle ablations (the metric is the simulated cycle count;
+    // criterion gives wall-clock — both are reported in EXPERIMENTS.md).
+    let mut g = c.benchmark_group("ablations");
+    g.sample_size(10);
+    let (gen, trace) = standard_trace(Scale::Tiny, 64);
+    for (name, cfg) in [
+        ("recross_full", ReCrossConfig::default()),
+        ("recross_no_sap", ReCrossConfig::default().without_sap()),
+        ("recross_no_bwp", ReCrossConfig::default().without_bwp()),
+        ("recross_no_las", ReCrossConfig::default().without_las()),
+        ("recross_base", ReCrossConfig::base(dram())),
+    ] {
+        g.bench_function(name, |b| {
+            let profiles = analytic_profiles(&gen);
+            let mut sys = ReCross::new(cfg.clone(), profiles, 2.0).expect("fits");
+            b.iter(|| black_box(sys.run(&trace).cycles))
+        });
+    }
+    g.bench_function("trim_b_no_replication", |b| {
+        let mut sys = Trim::bank(dram()).with_replication(0.0, 1);
+        b.iter(|| black_box(sys.run(&trace).cycles))
+    });
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_controller,
+    bench_lp,
+    bench_workload,
+    bench_accelerators,
+    bench_ablations
+);
+criterion_main!(benches);

@@ -1,0 +1,390 @@
+//! `repro` — regenerates every table and figure of the paper's evaluation.
+//!
+//! Usage:
+//!
+//! ```text
+//! repro [--quick] <fig3|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|overheads|headline|all>
+//! ```
+//!
+//! `--quick` runs the 1/100-scale workload (seconds instead of minutes);
+//! the default is the paper-scale Criteo-Kaggle workload.
+
+use recross_bench::experiments as exp;
+use recross_bench::workloads::{dram, standard_trace, Scale};
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let scale = if quick { Scale::Quick } else { Scale::Paper };
+    let what: Vec<&str> = args
+        .iter()
+        .filter(|a| !a.starts_with("--"))
+        .map(|s| s.as_str())
+        .collect();
+    let what = if what.is_empty() { vec!["all"] } else { what };
+    let all = what.contains(&"all");
+    let want = |k: &str| all || what.contains(&k);
+    let mut ran = false;
+
+    if want("table2") {
+        table2();
+        ran = true;
+    }
+    if want("fig3") {
+        fig3(scale);
+        ran = true;
+    }
+    if want("fig4") {
+        fig4(scale);
+        ran = true;
+    }
+    if want("fig5") {
+        fig5(scale);
+        ran = true;
+    }
+    if want("fig6") {
+        fig6();
+        ran = true;
+    }
+    if want("headline") {
+        headline(scale);
+        ran = true;
+    }
+    if want("fig9") {
+        sweep(
+            "Figure 9: speedup over CPU vs embedding vector length",
+            "vlen",
+            exp::fig9_vector_length(scale)
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        ran = true;
+    }
+    if want("fig10") {
+        sweep(
+            "Figure 10: speedup over CPU vs batch size (vlen 64)",
+            "batch",
+            exp::fig10_batch_size(scale)
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        ran = true;
+    }
+    if want("fig11") {
+        sweep(
+            "Figure 11: speedup over CPU vs rank count (vlen 64)",
+            "ranks",
+            exp::fig11_rank_count(scale)
+                .into_iter()
+                .map(|(k, v)| (k.to_string(), v))
+                .collect(),
+        );
+        ran = true;
+    }
+    if want("fig12") {
+        fig12(scale);
+        ran = true;
+    }
+    if want("fig13") {
+        fig13(scale);
+        ran = true;
+    }
+    if want("fig14") {
+        fig14(scale);
+        ran = true;
+    }
+    if want("fig15") {
+        fig15(scale);
+        ran = true;
+    }
+    if want("table3") {
+        table3();
+        ran = true;
+    }
+    if want("overheads") {
+        overheads(scale);
+        ran = true;
+    }
+    if want("inst") {
+        inst(scale);
+        ran = true;
+    }
+    if want("channels") {
+        channels(scale);
+        ran = true;
+    }
+    if want("ddr4") {
+        ddr4(scale);
+        ran = true;
+    }
+    if want("training") {
+        training(scale);
+        ran = true;
+    }
+    if want("serving") {
+        serving(scale);
+        ran = true;
+    }
+    if !ran {
+        eprintln!(
+            "unknown experiment {:?}; expected fig3..fig15, table2, table3, \
+             overheads, headline, inst, channels, ddr4, training, serving, all",
+            what
+        );
+        std::process::exit(2);
+    }
+}
+
+fn banner(s: &str) {
+    println!("\n=== {s} ===");
+}
+
+fn table2() {
+    banner("Table 2: system configuration");
+    let d = dram();
+    let t = d.topology;
+    println!(
+        "DRAM: DDR5-4800 ×8, {} channel(s), {} ranks, {} bank-groups × {} banks, {} subarrays/bank",
+        t.channels, t.ranks, t.bank_groups, t.banks_per_group, t.subarrays_per_bank
+    );
+    let tm = d.timing;
+    println!(
+        "timing (cycles): tRCD={} tCL={} tRP={} tRAS={} tRC={} tBL={} tCCD_S={} tCCD_L={} tFAW={} tRRD_S={} tRRD_L={} tRA={}",
+        tm.t_rcd, tm.t_cl, tm.t_rp, tm.t_ras, tm.t_rc, tm.t_bl, tm.t_ccd_s,
+        tm.t_ccd_l, tm.t_faw, tm.t_rrd_s, tm.t_rrd_l, tm.t_ra
+    );
+    let e = d.energy;
+    println!(
+        "energy: ACT={} pJ, RD/WR={} pJ/bit, I/O={} pJ/bit, FP add={} pJ, FP mul={} pJ",
+        e.act_pj, e.rd_wr_pj_per_bit, e.io_pj_per_bit, e.fp32_add_pj, e.fp32_mul_pj
+    );
+    let (r, g, b) = exp::region_split();
+    println!("ReCross-d regions (banks/rank): R={r} G={g} B={b}");
+}
+
+fn fig3(scale: Scale) {
+    banner("Figure 3: cumulative access share of the hottest p fraction of rows");
+    println!(
+        "{:>5} {:>9} {:>9} {:>9} {:>9} {:>9}",
+        "table", "p=5%", "p=10%", "p=20%", "p=50%", "rows"
+    );
+    let g = recross_bench::workloads::generator(scale, 64);
+    for (i, series) in exp::fig3_access_cdf(scale, 100) {
+        let at = |p: f64| {
+            series
+                .iter()
+                .min_by(|a, b| {
+                    (a.0 - p)
+                        .abs()
+                        .partial_cmp(&(b.0 - p).abs())
+                        .expect("no NaN")
+                })
+                .expect("non-empty")
+                .1
+        };
+        println!(
+            "{:>5} {:>8.1}% {:>8.1}% {:>8.1}% {:>8.1}% {:>9}",
+            i,
+            at(0.05) * 100.0,
+            at(0.10) * 100.0,
+            at(0.20) * 100.0,
+            at(0.50) * 100.0,
+            g.tables()[i].rows
+        );
+    }
+}
+
+fn fig4(scale: Scale) {
+    banner("Figure 4: load-imbalance ratio per NMP level (contiguous baseline layout)");
+    println!(
+        "{:>6} {:>12} {:>8} {:>8} {:>8} {:>8}",
+        "ranks", "level", "mean", "p50", "p90", "max"
+    );
+    for (ranks, level, s) in exp::fig4_imbalance(scale) {
+        println!(
+            "{ranks:>6} {level:>12} {:>8.2} {:>8.2} {:>8.2} {:>8.2}",
+            s.mean, s.p50, s.p90, s.max
+        );
+    }
+}
+
+fn fig5(scale: Scale) {
+    banner("Figure 5: speedup (vs 2-rank rank-level) and internal bandwidth per NMP level");
+    println!(
+        "{:>6} {:>12} {:>9} {:>16}",
+        "ranks", "level", "speedup", "intBW (B/cyc)"
+    );
+    for (ranks, level, speedup, bw) in exp::fig5_levels(scale) {
+        println!("{ranks:>6} {level:>12} {speedup:>9.2} {bw:>16.1}");
+    }
+}
+
+fn fig6() {
+    banner("Figure 6: command timeline, 4 reads to 2 banks");
+    for (mode, lines) in exp::fig6_timeline() {
+        println!("--- {mode}");
+        for l in lines {
+            println!("  {l}");
+        }
+    }
+}
+
+fn headline(scale: Scale) {
+    banner("Headline comparison (vlen 64, default batch)");
+    let (g, trace) = standard_trace(scale, 64);
+    let reports = exp::run_all(&g, &trace, &dram());
+    let cpu_ns = reports[0].ns;
+    println!(
+        "{:<12} {:>12} {:>12} {:>9} {:>8} {:>8} {:>12} {:>10} {:>10}",
+        "arch", "cycles", "ns", "speedup", "imb", "rowhit", "energy (uJ)", "op p50", "op p99"
+    );
+    for r in &reports {
+        println!(
+            "{:<12} {:>12} {:>12.0} {:>9.2} {:>8.2} {:>8.2} {:>12.2} {:>10} {:>10}",
+            r.name,
+            r.cycles,
+            r.ns,
+            cpu_ns / r.ns,
+            r.imbalance.mean,
+            r.row_hit_rate,
+            r.energy.total_pj() / 1e6,
+            r.op_latency.p50,
+            r.op_latency.p99
+        );
+    }
+}
+
+fn sweep(title: &str, xname: &str, rows: Vec<(String, Vec<(String, f64)>)>) {
+    banner(title);
+    if let Some((_, first)) = rows.first() {
+        print!("{xname:>6}");
+        for (arch, _) in first {
+            print!(" {arch:>11}");
+        }
+        println!();
+    }
+    for (x, cols) in rows {
+        print!("{x:>6}");
+        for (_, v) in cols {
+            print!(" {v:>11.2}");
+        }
+        println!();
+    }
+}
+
+fn fig12(scale: Scale) {
+    banner("Figure 12: optimization breakdown (speedup over CPU)");
+    for (name, speedup) in exp::fig12_ablation(scale) {
+        println!("{name:<22} {speedup:>7.2}x");
+    }
+}
+
+fn fig13(scale: Scale) {
+    banner("Figure 13: load-imbalance ratio comparison");
+    for (name, mean) in exp::fig13_bwp_imbalance(scale) {
+        println!("{name:<18} mean imbalance {mean:>7.2}");
+    }
+}
+
+fn fig14(scale: Scale) {
+    banner("Figure 14: configuration exploration (d, c1–c5)");
+    println!(
+        "{:<12} {:>9} {:>16} {:>18}",
+        "config", "speedup", "PE area (mm²)", "speedup per mm²"
+    );
+    for (name, speedup, area, eff) in exp::fig14_configurations(scale) {
+        println!("{name:<12} {speedup:>9.2} {area:>16.2} {eff:>18.2}");
+    }
+}
+
+fn fig15(scale: Scale) {
+    banner("Figure 15: energy breakdown normalized to CPU");
+    println!(
+        "{:<12} {:>8} {:>8} {:>8} {:>8} {:>8} {:>8}",
+        "arch", "ACT", "RD/WR", "I/O", "PE", "static", "total"
+    );
+    for (name, e) in exp::fig15_energy(scale) {
+        println!(
+            "{name:<12} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3} {:>8.3}",
+            e[0], e[1], e[2], e[3], e[4], e[5]
+        );
+    }
+}
+
+fn table3() {
+    banner("Table 3: extra area overhead breakdown");
+    println!(
+        "{:<12} {:>22} {:>22}",
+        "solution", "rank PE (buffer, mm²)", "BG/bank PE (chip, mm²)"
+    );
+    for (name, a) in exp::table3_area() {
+        println!(
+            "{name:<12} {:>22.2} {:>22.2}",
+            a.buffer_chip_mm2, a.dram_chip_mm2
+        );
+    }
+}
+
+fn inst(scale: Scale) {
+    banner("§4.2 ablation: two-stage vs C/A-only instruction transfer");
+    println!(
+        "{:>6} {:>14} {:>14} {:>10}",
+        "vlen", "two-stage cyc", "C/A-only cyc", "slowdown"
+    );
+    for (dim, fast, slow, ratio) in exp::instruction_transfer_ablation(scale) {
+        println!("{dim:>6} {fast:>14} {slow:>14} {ratio:>10.2}");
+    }
+}
+
+fn channels(scale: Scale) {
+    banner("Beyond-paper: ReCross multi-channel scaling");
+    println!("{:>9} {:>12} {:>9}", "channels", "cycles", "speedup");
+    for (ch, cycles, speedup) in exp::channel_scaling(scale) {
+        println!("{ch:>9} {cycles:>12} {speedup:>9.2}");
+    }
+}
+
+fn ddr4(scale: Scale) {
+    banner("Beyond-paper: DDR4-3200 sensitivity (speedup over CPU)");
+    for (name, speedup) in exp::ddr4_sensitivity(scale) {
+        println!("{name:<12} {speedup:>7.2}x");
+    }
+}
+
+fn training(scale: Scale) {
+    banner("Beyond-paper: §4.5 online-training (read-modify-write) overhead");
+    println!(
+        "{:<10} {:>8} {:>14} {:>14} {:>10}",
+        "arch", "updates", "inference cyc", "training cyc", "overhead"
+    );
+    for (arch, frac, inf, tr, overhead) in exp::training_updates(scale) {
+        println!(
+            "{arch:<10} {:>7.0}% {inf:>14} {tr:>14} {overhead:>10.2}",
+            frac * 100.0
+        );
+    }
+}
+
+fn serving(scale: Scale) {
+    banner("Beyond-paper: open-loop serving latency (batch arrivals at fixed interval)");
+    println!(
+        "{:<10} {:>16} {:>12} {:>12}",
+        "arch", "interval (cyc)", "p50 latency", "p99 latency"
+    );
+    for (arch, interval, p50, p99) in exp::serving_latency(scale) {
+        println!("{arch:<10} {interval:>16} {p50:>12} {p99:>12}");
+    }
+}
+
+fn overheads(scale: Scale) {
+    banner("§5.6: partitioning and mapping-table overheads");
+    let (lp_ms, bytes, frac) = exp::partitioning_overheads(scale);
+    println!("LP partitioning time: {lp_ms:.1} ms (paper: within 5 s via Gurobi)");
+    println!(
+        "mapping table: {:.1} MiB = {:.2}% of model size (paper: < 4%)",
+        bytes as f64 / (1024.0 * 1024.0),
+        frac * 100.0
+    );
+}

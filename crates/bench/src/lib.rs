@@ -1,0 +1,10 @@
+//! # recross-bench
+//!
+//! The benchmark harness of the ReCross reproduction: one runner per paper
+//! table/figure ([`experiments`]), the standard workload configurations
+//! ([`workloads`]), and the `repro` binary that prints every row the paper
+//! reports. Criterion benches (in `benches/`) time the same runners on the
+//! quick scale.
+
+pub mod experiments;
+pub mod workloads;

@@ -1,0 +1,217 @@
+//! Dynamic embedding management (paper §4.5).
+//!
+//! Two runtime behaviours beyond the static placement:
+//!
+//! 1. **Embedding table updates** — online-training systems insert new rows
+//!    continuously; ReCross treats them as cold and stores them in the
+//!    capacity-optimized R-region.
+//! 2. **Access-frequency drift** — row popularity changes over time.
+//!    ReCross counts accesses over a fixed interval and promotes the
+//!    hottest rows of slower regions into the B-region (and demotes the
+//!    coldest B rows), keeping the placement near-optimal.
+//!
+//! The implementation is an *overlay* on the static placement: a bounded
+//! remap of individual rows, mirroring the paper's mapping-table indirection.
+
+use std::collections::HashMap;
+
+use crate::config::Region;
+use crate::engine::ReCross;
+use recross_workload::Trace;
+
+/// A row-granular placement overlay plus the interval counters driving it.
+#[derive(Debug)]
+pub struct DynamicScheduler {
+    /// Lookups per re-evaluation interval (the paper suggests wall-clock
+    /// intervals; a lookup budget is the simulation equivalent).
+    interval_lookups: u64,
+    /// How many rows to promote per interval (the paper's "top 1000").
+    top_k: usize,
+    /// Interval access counters: (table, row) → count.
+    counters: HashMap<(usize, u64), u64>,
+    /// Overlay: rows currently promoted into the B-region.
+    promoted: HashMap<(usize, u64), u64>, // → overlay slot
+    /// Next free overlay slot (B-region tail reserved for promotions).
+    next_slot: u64,
+    /// Overlay capacity in rows.
+    capacity: u64,
+    lookups_seen: u64,
+    promotions: u64,
+    demotions: u64,
+    inserts: u64,
+}
+
+impl DynamicScheduler {
+    /// Creates a scheduler re-evaluating every `interval_lookups` lookups,
+    /// promoting up to `top_k` rows, with an overlay capacity of
+    /// `capacity` rows.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero.
+    pub fn new(interval_lookups: u64, top_k: usize, capacity: u64) -> Self {
+        assert!(interval_lookups > 0 && top_k > 0 && capacity > 0);
+        Self {
+            interval_lookups,
+            top_k,
+            counters: HashMap::new(),
+            promoted: HashMap::new(),
+            next_slot: 0,
+            capacity,
+            lookups_seen: 0,
+            promotions: 0,
+            demotions: 0,
+            inserts: 0,
+        }
+    }
+
+    /// Rows currently promoted.
+    pub fn promoted_len(&self) -> usize {
+        self.promoted.len()
+    }
+
+    /// Total promotions performed.
+    pub fn promotions(&self) -> u64 {
+        self.promotions
+    }
+
+    /// Total demotions performed.
+    pub fn demotions(&self) -> u64 {
+        self.demotions
+    }
+
+    /// Rows inserted online (always cold → R-region).
+    pub fn inserts(&self) -> u64 {
+        self.inserts
+    }
+
+    /// Whether `(table, row)` is currently overlaid into the B-region.
+    pub fn is_promoted(&self, table: usize, row: u64) -> bool {
+        self.promoted.contains_key(&(table, row))
+    }
+
+    /// Records an online row insertion (§4.5: new data are cold, stored in
+    /// the R-region — i.e. *not* overlaid).
+    pub fn insert_row(&mut self, table: usize, row: u64) {
+        self.inserts += 1;
+        // Newly inserted rows start cold: ensure they are not promoted.
+        if self.promoted.remove(&(table, row)).is_some() {
+            self.demotions += 1;
+        }
+    }
+
+    /// Observes a trace's lookups, re-evaluating the overlay every
+    /// interval. Returns the number of re-evaluations triggered.
+    pub fn observe(&mut self, trace: &Trace, system: &ReCross) -> u32 {
+        let mut reevals = 0;
+        for op in trace.iter_ops() {
+            for &row in &op.indices {
+                *self.counters.entry((op.table, row)).or_insert(0) += 1;
+                self.lookups_seen += 1;
+                if self.lookups_seen.is_multiple_of(self.interval_lookups) {
+                    self.reevaluate(system);
+                    reevals += 1;
+                }
+            }
+        }
+        reevals
+    }
+
+    /// One interval re-evaluation: promote the hottest non-B rows.
+    fn reevaluate(&mut self, system: &ReCross) {
+        let mut hot: Vec<(&(usize, u64), &u64)> = self.counters.iter().collect();
+        hot.sort_unstable_by(|a, b| b.1.cmp(a.1).then(a.0.cmp(b.0)));
+        let mut promoted_this_round = 0;
+        for (&(table, row), _) in hot {
+            if promoted_this_round >= self.top_k {
+                break;
+            }
+            let rank = system.profiles()[table].order.rank_of(row);
+            let already_b = system.placement().region_of_rank(table, rank) == Region::B;
+            if already_b || self.promoted.contains_key(&(table, row)) {
+                continue;
+            }
+            if self.promoted.len() as u64 >= self.capacity {
+                // Demote the coldest promoted row (smallest interval count).
+                if let Some((&victim, _)) = self
+                    .promoted
+                    .iter()
+                    .map(|(k, v)| (k, *v))
+                    .min_by_key(|(k, _)| self.counters.get(*k).copied().unwrap_or(0))
+                {
+                    self.promoted.remove(&victim);
+                    self.demotions += 1;
+                }
+            }
+            self.promoted.insert((table, row), self.next_slot);
+            self.next_slot = (self.next_slot + 1) % self.capacity;
+            self.promotions += 1;
+            promoted_this_round += 1;
+        }
+        self.counters.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReCrossConfig;
+    use crate::profile::analytic_profiles;
+    use recross_workload::TraceGenerator;
+
+    fn system() -> (ReCross, recross_workload::TraceGenerator) {
+        let g = TraceGenerator::criteo_scaled(16, 1000)
+            .batch_size(4)
+            .pooling(16);
+        let profiles = analytic_profiles(&g);
+        (
+            ReCross::new(ReCrossConfig::default(), profiles, 4.0).unwrap(),
+            g,
+        )
+    }
+
+    #[test]
+    fn promotes_hot_rows_over_time() {
+        let (sys, g) = system();
+        let mut dynsched = DynamicScheduler::new(500, 50, 1000);
+        let trace = g.generate(21);
+        let reevals = dynsched.observe(&trace, &sys);
+        assert!(reevals > 0, "intervals should trigger");
+        assert!(
+            dynsched.promotions() > 0,
+            "hot non-B rows should be promoted"
+        );
+        assert!(dynsched.promoted_len() <= 1000);
+    }
+
+    #[test]
+    fn capacity_forces_demotion() {
+        let (sys, g) = system();
+        let mut dynsched = DynamicScheduler::new(200, 20, 10);
+        let trace = g.generate(22);
+        dynsched.observe(&trace, &sys);
+        assert!(dynsched.promoted_len() <= 10);
+        if dynsched.promotions() > 10 {
+            assert!(dynsched.demotions() > 0);
+        }
+    }
+
+    #[test]
+    fn inserts_are_cold() {
+        let (sys, g) = system();
+        let mut dynsched = DynamicScheduler::new(100, 10, 100);
+        let trace = g.generate(23);
+        dynsched.observe(&trace, &sys);
+        // Insert a row; whether or not it was promoted, it must be cold after.
+        let probe = (0usize, 3u64);
+        dynsched.insert_row(probe.0, probe.1);
+        assert!(!dynsched.is_promoted(probe.0, probe.1));
+        assert_eq!(dynsched.inserts(), 1);
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_interval_rejected() {
+        DynamicScheduler::new(0, 1, 1);
+    }
+}

@@ -1,0 +1,215 @@
+//! The R/G/B region carve-out of the memory space (paper §4.1).
+//!
+//! Each rank's banks are split into three regions served by the three NMP
+//! levels. B-region banks sit inside NMP-featured bank groups (they have a
+//! bank-level PE and SALP support), G-region banks are the remaining banks
+//! of NMP-featured bank groups, and R-region banks (rank-level NMP) are the
+//! rest. Every rank uses the same split.
+
+use recross_dram::{PhysAddr, Topology};
+
+use crate::config::{ReCrossConfig, Region};
+
+/// Region assignment of every bank, plus per-region addressing helpers.
+#[derive(Debug, Clone)]
+pub struct RegionMap {
+    topo: Topology,
+    /// Region of each bank position within a rank (index = bg × banks/bg +
+    /// bank).
+    per_rank: Vec<Region>,
+    /// Banks (within-rank indices) of each region, in slot order.
+    banks: [Vec<u32>; 3],
+}
+
+impl RegionMap {
+    /// Builds the map from a configuration.
+    pub fn new(cfg: &ReCrossConfig) -> Self {
+        cfg.validate();
+        let topo = cfg.dram.topology;
+        let per_group = topo.banks_per_group;
+        let featured = cfg.bg_pes_per_rank;
+        let mut per_rank = vec![Region::R; topo.banks_per_rank() as usize];
+        // B banks spread round-robin across the featured bank groups, so a
+        // bank PE's traffic overlaps maximally (one B bank per group first).
+        for i in 0..cfg.bank_pes_per_rank {
+            let bg = i % featured;
+            let bank = i / featured;
+            per_rank[(bg * per_group + bank) as usize] = Region::B;
+        }
+        // Remaining banks of featured groups are G.
+        for bg in 0..featured {
+            for bank in 0..per_group {
+                let idx = (bg * per_group + bank) as usize;
+                if per_rank[idx] == Region::R {
+                    per_rank[idx] = Region::G;
+                }
+            }
+        }
+        let mut banks: [Vec<u32>; 3] = [Vec::new(), Vec::new(), Vec::new()];
+        for (idx, r) in per_rank.iter().enumerate() {
+            banks[r.index()].push(idx as u32);
+        }
+        Self {
+            topo,
+            per_rank,
+            banks,
+        }
+    }
+
+    /// Region of a bank position within a rank.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index exceeds banks per rank.
+    pub fn region_of_bank(&self, bank_in_rank: u32) -> Region {
+        self.per_rank[bank_in_rank as usize]
+    }
+
+    /// Region an address belongs to.
+    pub fn region_of(&self, addr: &PhysAddr) -> Region {
+        self.region_of_bank(addr.bank_group * self.topo.banks_per_group + addr.bank)
+    }
+
+    /// Banks (within-rank indices) of a region.
+    pub fn banks_in(&self, region: Region) -> &[u32] {
+        &self.banks[region.index()]
+    }
+
+    /// Number of banks per rank in a region.
+    pub fn bank_count(&self, region: Region) -> u32 {
+        self.banks[region.index()].len() as u32
+    }
+
+    /// Region capacity in bytes across all ranks.
+    pub fn capacity_bytes(&self, region: Region) -> u64 {
+        u64::from(self.bank_count(region)) * u64::from(self.topo.ranks) * self.topo.bank_bytes()
+    }
+
+    /// Total vector *slots* a region offers across all ranks for vectors of
+    /// `vector_bytes` (row-packed).
+    pub fn vector_slots(&self, region: Region, vector_bytes: u32) -> u64 {
+        let per_row = u64::from(self.topo.row_bytes / vector_bytes.max(1));
+        u64::from(self.bank_count(region))
+            * u64::from(self.topo.ranks)
+            * u64::from(self.topo.rows_per_bank)
+            * per_row
+    }
+
+    /// Maps a region-local sequential slot to a physical address. Slots
+    /// rotate across the region's banks over all ranks first (maximizing
+    /// node parallelism), then move to the next row position.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slot exceeds the region's capacity for this vector
+    /// size or the region is empty.
+    pub fn slot_addr(&self, region: Region, slot: u64, vector_bytes: u32) -> PhysAddr {
+        let banks = &self.banks[region.index()];
+        assert!(!banks.is_empty(), "region {region} has no banks");
+        let nodes = banks.len() as u64 * u64::from(self.topo.ranks);
+        let node = slot % nodes;
+        let within = slot / nodes;
+        let rank = (node % u64::from(self.topo.ranks)) as u32;
+        let bank_in_rank = banks[(node / u64::from(self.topo.ranks)) as usize];
+        let per_row = u64::from(self.topo.row_bytes / vector_bytes.max(1));
+        let row = within / per_row;
+        assert!(
+            row < u64::from(self.topo.rows_per_bank),
+            "slot exceeds region capacity"
+        );
+        PhysAddr {
+            channel: 0,
+            rank,
+            bank_group: bank_in_rank / self.topo.banks_per_group,
+            bank: bank_in_rank % self.topo.banks_per_group,
+            row: row as u32,
+            col_byte: (within % per_row) as u32 * vector_bytes,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recross_dram::DramConfig;
+
+    fn map() -> RegionMap {
+        RegionMap::new(&ReCrossConfig::default())
+    }
+
+    #[test]
+    fn default_split_counts() {
+        let m = map();
+        assert_eq!(m.bank_count(Region::R), 16);
+        assert_eq!(m.bank_count(Region::G), 12);
+        assert_eq!(m.bank_count(Region::B), 4);
+    }
+
+    #[test]
+    fn b_banks_spread_across_groups() {
+        let m = map();
+        let groups: std::collections::HashSet<u32> =
+            m.banks_in(Region::B).iter().map(|b| b / 4).collect();
+        assert_eq!(groups.len(), 4, "one B bank per NMP-featured group");
+    }
+
+    #[test]
+    fn c5_is_all_bank_level() {
+        let cfg = ReCrossConfig::c5(DramConfig::ddr5_4800());
+        let m = RegionMap::new(&cfg);
+        assert_eq!(m.bank_count(Region::B), 32);
+        assert_eq!(m.bank_count(Region::R), 0);
+        assert_eq!(m.bank_count(Region::G), 0);
+    }
+
+    #[test]
+    fn region_of_roundtrip() {
+        let m = map();
+        for region in Region::ALL {
+            for slot in [0u64, 1, 7, 100, 10_000] {
+                let addr = m.slot_addr(region, slot, 256);
+                assert_eq!(m.region_of(&addr), region, "slot {slot}");
+            }
+        }
+    }
+
+    #[test]
+    fn slots_are_injective() {
+        let m = map();
+        let mut seen = std::collections::HashSet::new();
+        for slot in 0..10_000u64 {
+            let a = m.slot_addr(Region::B, slot, 256);
+            assert!(seen.insert((a.rank, a.bank_group, a.bank, a.row, a.col_byte)));
+        }
+    }
+
+    #[test]
+    fn slots_rotate_nodes_first() {
+        let m = map();
+        // 4 B banks × 2 ranks = 8 nodes; the first 8 slots hit 8 distinct
+        // (rank, bank) pairs.
+        let nodes: std::collections::HashSet<(u32, u32, u32)> = (0..8)
+            .map(|s| {
+                let a = m.slot_addr(Region::B, s, 256);
+                (a.rank, a.bank_group, a.bank)
+            })
+            .collect();
+        assert_eq!(nodes.len(), 8);
+    }
+
+    #[test]
+    fn capacity_math() {
+        let m = map();
+        // B: 4 banks × 2 ranks × 512 MiB = 4 GiB.
+        assert_eq!(m.capacity_bytes(Region::B), 4 * (1u64 << 30));
+        assert_eq!(m.vector_slots(Region::B, 256), 4 * (1u64 << 30) / 256);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds region capacity")]
+    fn overflow_slot_panics() {
+        let m = map();
+        let max = m.vector_slots(Region::B, 256);
+        m.slot_addr(Region::B, max, 256);
+    }
+}

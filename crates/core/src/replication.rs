@@ -1,0 +1,165 @@
+//! Hot-entry replication for the B-region (an extension in the spirit of
+//! TRiM's technique, which the paper's §3.1 discusses).
+//!
+//! Even inside the high-bandwidth B-region, the single hottest rows can pin
+//! one bank within an *operation* (the per-op imbalance of Figure 13).
+//! Replicating the globally hottest entries across the B banks and
+//! round-robining accesses over the copies spreads that residual hot spot.
+//! The copies live in the B-region's spare slot area behind all table
+//! allocations, so no table data moves.
+
+use std::collections::HashMap;
+
+use recross_dram::PhysAddr;
+
+use crate::config::Region;
+use crate::placement::Placement;
+use crate::profile::TableProfile;
+
+/// A replica directory for the hottest `(table, rank)` entries.
+#[derive(Debug)]
+pub struct HotReplicas {
+    /// `(table, popularity rank)` → first replica offset in the spare area.
+    directory: HashMap<(usize, u64), u64>,
+    replicas: u64,
+    counter: u64,
+}
+
+impl HotReplicas {
+    /// Replicates the `per_table` hottest ranks of every table `replicas`
+    /// times into the B-region spare area.
+    ///
+    /// Only ranks the placement already serves from the B-region are
+    /// replicated (replicating R-region tail rows would *add* hot traffic
+    /// to B).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `replicas == 0` or the spare area cannot hold the copies.
+    pub fn build(
+        profiles: &[TableProfile],
+        placement: &Placement,
+        per_table: u64,
+        replicas: u32,
+    ) -> Self {
+        assert!(replicas >= 1, "need at least one replica");
+        let mut directory = HashMap::new();
+        let mut next = 0u64;
+        for (t, p) in profiles.iter().enumerate() {
+            let limit = per_table.min(p.spec.rows);
+            for rank in 0..limit {
+                if placement.region_of_rank(t, rank) != Region::B {
+                    continue;
+                }
+                directory.insert((t, rank), next);
+                next += u64::from(replicas);
+            }
+        }
+        // Capacity check via a probing address computation of the last slot.
+        if next > 0 {
+            let _ = placement.spare_addr(Region::B, next - 1);
+        }
+        Self {
+            directory,
+            replicas: u64::from(replicas),
+            counter: 0,
+        }
+    }
+
+    /// Entries replicated.
+    pub fn len(&self) -> usize {
+        self.directory.len()
+    }
+
+    /// Whether no entry is replicated.
+    pub fn is_empty(&self) -> bool {
+        self.directory.is_empty()
+    }
+
+    /// Redirects an access to `(table, rank)` to one of its replicas
+    /// (round-robin), or `None` if the entry is not replicated.
+    pub fn redirect(&mut self, placement: &Placement, table: usize, rank: u64) -> Option<PhysAddr> {
+        let &base = self.directory.get(&(table, rank))?;
+        self.counter = self.counter.wrapping_add(1);
+        Some(placement.spare_addr(Region::B, base + self.counter % self.replicas))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::ReCrossConfig;
+    use crate::engine::ReCross;
+    use crate::profile::analytic_profiles;
+    use recross_workload::TraceGenerator;
+
+    fn system() -> (ReCross, Vec<TableProfile>) {
+        let g = TraceGenerator::criteo_scaled(64, 100)
+            .batch_size(8)
+            .pooling(40);
+        let profiles = analytic_profiles(&g);
+        let sys = ReCross::new(ReCrossConfig::default(), profiles.clone(), 8.0).expect("fits");
+        (sys, profiles)
+    }
+
+    #[test]
+    fn replicates_only_b_region_ranks() {
+        let (sys, profiles) = system();
+        let reps = HotReplicas::build(&profiles, sys.placement(), 16, 4);
+        assert!(!reps.is_empty());
+        for &(t, rank) in reps.directory.keys() {
+            assert_eq!(sys.placement().region_of_rank(t, rank), Region::B);
+        }
+    }
+
+    #[test]
+    fn redirect_round_robins_across_banks() {
+        let (sys, profiles) = system();
+        let mut reps = HotReplicas::build(&profiles, sys.placement(), 8, 8);
+        let &(t, rank) = reps.directory.keys().next().expect("non-empty");
+        let addrs: std::collections::HashSet<(u32, u32, u32)> = (0..8)
+            .map(|_| {
+                let a = reps.redirect(sys.placement(), t, rank).expect("replicated");
+                (a.rank, a.bank_group, a.bank)
+            })
+            .collect();
+        assert!(addrs.len() > 1, "replicas must span banks: {addrs:?}");
+        // All replicas stay in the B-region.
+        for _ in 0..8 {
+            let a = reps.redirect(sys.placement(), t, rank).unwrap();
+            assert_eq!(sys.placement().region_map().region_of(&a), Region::B);
+        }
+    }
+
+    #[test]
+    fn unreplicated_ranks_pass_through() {
+        let (sys, profiles) = system();
+        let mut reps = HotReplicas::build(&profiles, sys.placement(), 4, 2);
+        assert!(reps.redirect(sys.placement(), 0, u64::MAX - 1).is_none());
+    }
+
+    #[test]
+    fn replica_addresses_do_not_collide_with_tables() {
+        let (sys, profiles) = system();
+        let mut reps = HotReplicas::build(&profiles, sys.placement(), 8, 4);
+        // Collect every replica address and a sample of table addresses.
+        let mut replica_addrs = std::collections::HashSet::new();
+        let keys: Vec<(usize, u64)> = reps.directory.keys().copied().collect();
+        for (t, rank) in keys {
+            for _ in 0..4 {
+                let a = reps.redirect(sys.placement(), t, rank).unwrap();
+                replica_addrs.insert((a.rank, a.bank_group, a.bank, a.row, a.col_byte));
+            }
+        }
+        for (t, p) in profiles.iter().enumerate() {
+            let step = (p.spec.rows / 29).max(1);
+            for rank in (0..p.spec.rows).step_by(step as usize) {
+                let a = sys.placement().addr_of_rank(t, rank);
+                assert!(
+                    !replica_addrs.contains(&(a.rank, a.bank_group, a.bank, a.row, a.col_byte)),
+                    "replica collided with table data"
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,1197 @@
+//! A command-level read controller with FR-FCFS scheduling.
+//!
+//! This is the memory-controller model shared by every accelerator in the
+//! reproduction: per-bank request queues, open-page policy, and First-Ready
+//! First-Come-First-Served scheduling (Rixner et al., the paper's ref. 56) —
+//! row-buffer hits are served before older row-buffer misses — plus the
+//! subarray-aware locality scheduling of ReCross §4.1.
+//!
+//! Scheduling is *per command*: each scheduler step issues exactly one DRAM
+//! command (PRE/ACT/ACT_SA/SEL_SA or a single RD burst), so bursts of
+//! different requests interleave across banks and buses just as a real
+//! controller pipeline does. Reordering is bounded: a per-bank window
+//! models the limited PE-side queues of NMP designs, and an optional global
+//! window models the host controller's finite request queue (Table 2:
+//! 64 entries).
+//!
+//! Each request names the *destination level* of its data ([`BusScope`]):
+//! reads bound for a bank-level PE never leave the bank, reads for a
+//! bank-group PE occupy the bank-group I/O, reads for a rank PE additionally
+//! occupy the rank DQ, and host-bound reads cross all three plus the channel
+//! bus (paper Figure 6). Requests at different levels coexist in one
+//! controller and share the ACT/tFAW/tCCD windows — this is what lets
+//! ReCross run its three regions concurrently in the same ranks.
+
+use std::collections::VecDeque;
+
+use crate::addr::PhysAddr;
+use crate::bus::BusSet;
+use crate::command::{Command, CommandKind, DataScope, IssuedCommand};
+use crate::config::{Cycle, DramConfig};
+use crate::energy::EnergyCounters;
+use crate::timing::TimingState;
+
+/// Destination of a read's data — how far up the DRAM datapath it travels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BusScope {
+    /// Data crosses to the host: bank-group I/O + rank DQ + channel bus.
+    Channel,
+    /// Data stops at a rank-buffer PE (TensorDIMM / RecNMP / R-region).
+    Rank,
+    /// Data stops at a bank-group PE (TRiM-G / G-region).
+    BankGroup,
+    /// Data stops at a per-bank PE (TRiM-B / ReCross B-region).
+    Bank,
+}
+
+/// One read request: fetch `bursts` consecutive bursts starting at `addr`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ReadRequest {
+    /// Caller-chosen identifier, reported back on completion.
+    pub id: u64,
+    /// Starting (burst-aligned) address.
+    pub addr: PhysAddr,
+    /// Number of consecutive bursts to read.
+    pub bursts: u32,
+    /// Earliest cycle the request may start being serviced (e.g. after its
+    /// NMP instruction arrived).
+    pub ready_at: Cycle,
+    /// Where the data lands.
+    pub dest: BusScope,
+    /// Whether this bank supports subarray-parallel access (ReCross
+    /// B-region banks).
+    pub salp: bool,
+    /// Closed-page access: precharge immediately after the last burst
+    /// (paper Figure 6 — the baseline NMPs issue deterministic
+    /// ACT-RD-PRE sequences and never reuse an open row).
+    pub auto_precharge: bool,
+    /// Write instead of read (embedding updates, §4.5). Writes use the
+    /// global row buffer path (no SALP).
+    pub write: bool,
+}
+
+impl ReadRequest {
+    /// Convenience constructor for host-bound (conventional) reads.
+    pub fn to_host(id: u64, addr: PhysAddr, bursts: u32) -> Self {
+        Self {
+            id,
+            addr,
+            bursts,
+            ready_at: 0,
+            dest: BusScope::Channel,
+            salp: false,
+            auto_precharge: false,
+            write: false,
+        }
+    }
+
+    /// Convenience constructor for a host-issued write (embedding update).
+    pub fn write_from_host(id: u64, addr: PhysAddr, bursts: u32) -> Self {
+        Self {
+            write: true,
+            ..Self::to_host(id, addr, bursts)
+        }
+    }
+}
+
+/// Completion record for one request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Completion {
+    /// The request's id.
+    pub id: u64,
+    /// Cycle at which the last data burst finished on the bus.
+    pub done_at: Cycle,
+    /// Whether the first access hit an already-open row (global or local).
+    pub row_hit: bool,
+}
+
+/// Scheduling policy for picking among serviceable requests in a bank queue.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum SchedulePolicy {
+    /// First-Ready FCFS: open-row hits first, then oldest.
+    #[default]
+    FrFcfs,
+    /// ReCross locality-aware scheduling (§4.1): same-local-row-buffer hits
+    /// first, then requests in *different* subarrays (activations overlap),
+    /// then same-subarray different-row requests.
+    LocalityAware,
+    /// Plain FCFS (no reordering) — ablation baseline.
+    Fcfs,
+}
+
+/// Aggregate statistics of one controller run.
+#[derive(Debug, Clone, Default)]
+pub struct RunStats {
+    /// Cycle the last burst completed.
+    pub finish: Cycle,
+    /// Row-buffer hit count.
+    pub row_hits: u64,
+    /// Row-buffer miss count.
+    pub row_misses: u64,
+    /// Number of issued commands by kind:
+    /// (ACT, RD, PRE, ACT_SA, SEL_SA, REF).
+    pub issued: [u64; 6],
+    /// Per-flat-bank request loads (for imbalance analysis).
+    pub bank_loads: Vec<u64>,
+    /// Energy event counters.
+    pub energy: EnergyCounters,
+}
+
+impl RunStats {
+    /// Row-hit rate in [0, 1]; 0 if no accesses.
+    pub fn row_hit_rate(&self) -> f64 {
+        let total = self.row_hits + self.row_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.row_hits as f64 / total as f64
+        }
+    }
+}
+
+/// Device-I/O scope a read occupies for a given destination.
+fn data_scope_of(dest: BusScope) -> DataScope {
+    match dest {
+        BusScope::Bank => DataScope::Bank,
+        BusScope::BankGroup => DataScope::BankGroup,
+        BusScope::Rank | BusScope::Channel => DataScope::Rank,
+    }
+}
+
+/// A request in flight, with its service progress.
+#[derive(Debug, Clone, Copy)]
+struct ActiveRequest {
+    req: ReadRequest,
+    bursts_done: u32,
+    /// Whether the hit/miss classification has been recorded.
+    classified: bool,
+    /// Classification outcome (valid once `classified`).
+    was_hit: bool,
+    /// Completion time of the last data burst so far.
+    last_data: Cycle,
+}
+
+/// The next schedulable command for a request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Step {
+    Pre,
+    Act,
+    ActSa,
+    SelSa,
+    Rd,
+    Wr,
+}
+
+/// The controller. Drives one channel.
+#[derive(Debug)]
+pub struct Controller {
+    cfg: DramConfig,
+    timing: TimingState,
+    policy: SchedulePolicy,
+    group_bus: BusSet,
+    rank_bus: BusSet,
+    channel_bus: BusSet,
+    queues: Vec<VecDeque<ActiveRequest>>, // per flat bank, arrival order
+    /// SALP mode each bank has been used in (a bank either has SALP
+    /// support or it does not — mixing modes is a caller bug).
+    bank_salp_mode: Vec<Option<bool>>,
+    bank_window: usize,
+    global_window: Option<usize>,
+    /// Requests waiting for a slot in the bounded global queue.
+    pending: VecDeque<ReadRequest>,
+    outstanding: usize,
+    next_seq: u64,
+    /// Per-rank cycle of the last issued refresh (tREFI cadence).
+    last_ref: Vec<Cycle>,
+    /// Per-rank latest committed command cycle (refresh ordering fence).
+    rank_latest: Vec<Cycle>,
+    trace: Option<Vec<IssuedCommand>>,
+    stats: RunStats,
+    completions: Vec<Completion>,
+}
+
+impl Controller {
+    /// Creates a controller for one channel of `cfg` with the default
+    /// per-bank reorder window of 16 requests.
+    pub fn new(cfg: DramConfig, policy: SchedulePolicy) -> Self {
+        cfg.validate();
+        let topo = cfg.topology;
+        let timing = TimingState::new(topo, cfg.timing);
+        let banks = topo.banks_per_channel() as usize;
+        Self {
+            timing,
+            policy,
+            group_bus: BusSet::new((topo.ranks * topo.bank_groups) as usize),
+            rank_bus: BusSet::new(topo.ranks as usize),
+            channel_bus: BusSet::new(1),
+            queues: vec![VecDeque::new(); banks],
+            bank_salp_mode: vec![None; banks],
+            bank_window: 16,
+            global_window: None,
+            pending: VecDeque::new(),
+            outstanding: 0,
+            next_seq: 0,
+            last_ref: vec![0; topo.ranks as usize],
+            rank_latest: vec![0; topo.ranks as usize],
+            trace: None,
+            stats: RunStats {
+                bank_loads: vec![0; banks],
+                ..Default::default()
+            },
+            completions: Vec::new(),
+            cfg,
+        }
+    }
+
+    /// Sets the per-bank reorder window (PE-side queue depth).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn with_bank_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.bank_window = window;
+        self
+    }
+
+    /// Bounds the controller to `window` outstanding requests in arrival
+    /// order (the host's finite request queue — Table 2: 64 entries). A new
+    /// request only enters the scheduler when a completion frees a slot, at
+    /// the completing request's finish time.
+    pub fn with_global_window(mut self, window: usize) -> Self {
+        assert!(window > 0, "window must be positive");
+        self.global_window = Some(window);
+        self
+    }
+
+    /// Enables recording of the full command trace (Figure 6 / checker).
+    pub fn record_trace(&mut self) -> &mut Self {
+        self.trace = Some(Vec::new());
+        self
+    }
+
+    /// Recorded command trace, if enabled (sorted by issue cycle).
+    pub fn trace(&self) -> Option<Vec<IssuedCommand>> {
+        self.trace.as_ref().map(|t| {
+            let mut t = t.clone();
+            t.sort_by_key(|ic| ic.cycle);
+            t
+        })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Enqueues a request.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the address is invalid, `bursts == 0`, or the read crosses
+    /// a row boundary (callers must split row-crossing vectors).
+    pub fn enqueue(&mut self, req: ReadRequest) {
+        let topo = &self.cfg.topology;
+        assert!(req.addr.is_valid(topo), "invalid address {}", req.addr);
+        assert!(req.bursts > 0, "empty request");
+        assert!(
+            req.addr.col_byte + req.bursts * topo.burst_bytes <= topo.row_bytes,
+            "request crosses a row boundary"
+        );
+        assert!(
+            !(req.write && req.salp),
+            "writes use the global row-buffer path, not SALP"
+        );
+        let flat = req.addr.flat_bank(topo) as usize;
+        match self.bank_salp_mode[flat] {
+            None => self.bank_salp_mode[flat] = Some(req.salp),
+            Some(mode) => assert_eq!(
+                mode, req.salp,
+                "bank {flat} used with mixed SALP modes — a bank either has \
+                 a subarray-parallel PE or it does not"
+            ),
+        }
+        self.stats.bank_loads[flat] += 1;
+        match self.global_window {
+            Some(w) if self.outstanding >= w => self.pending.push_back(req),
+            _ => self.admit(req, 0),
+        }
+    }
+
+    /// Places a request into its bank queue, no earlier than `min_start`.
+    fn admit(&mut self, mut req: ReadRequest, min_start: Cycle) {
+        req.ready_at = req.ready_at.max(min_start);
+        let flat = req.addr.flat_bank(&self.cfg.topology) as usize;
+        self.next_seq += 1;
+        self.outstanding += 1;
+        self.queues[flat].push_back(ActiveRequest {
+            req,
+            bursts_done: 0,
+            classified: false,
+            was_hit: false,
+            last_data: 0,
+        });
+    }
+
+    /// Runs until all queues drain; returns completions in finish order.
+    ///
+    /// Refresh commands (tREFI cadence, Table 2/DDR5 defaults) are issued
+    /// inline: before each scheduled command, every rank whose refresh is
+    /// due by that command's issue estimate gets a REF first.
+    pub fn run(&mut self) -> Vec<Completion> {
+        while let Some((bank, idx, step, est)) = self.pick_next() {
+            if self.refresh_due_ranks(est) {
+                // Bank states changed under the picked step; re-pick.
+                continue;
+            }
+            self.perform(bank, idx, step);
+        }
+        let mut done = std::mem::take(&mut self.completions);
+        done.sort_by_key(|c| c.done_at);
+        done
+    }
+
+    /// Issues REF to every rank whose tREFI deadline falls at or before
+    /// `horizon`; returns whether any was issued.
+    fn refresh_due_ranks(&mut self, horizon: Cycle) -> bool {
+        let t_refi = self.cfg.timing.t_refi;
+        if t_refi == 0 {
+            return false;
+        }
+        let mut any = false;
+        for rank in 0..self.cfg.topology.ranks {
+            while self.last_ref[rank as usize] + t_refi <= horizon {
+                let due = self.last_ref[rank as usize] + t_refi;
+                let addr = PhysAddr {
+                    channel: 0,
+                    rank,
+                    bank_group: 0,
+                    bank: 0,
+                    row: 0,
+                    col_byte: 0,
+                };
+                // Fence: never refresh behind a command already committed
+                // for this rank — the schedule must stay replayable in
+                // cycle order.
+                let not_before = due.max(self.rank_latest[rank as usize]);
+                let at = self.issue(CommandKind::Ref, addr, not_before, DataScope::Rank);
+                self.stats.energy.refreshes += 1;
+                self.last_ref[rank as usize] = at;
+                any = true;
+            }
+        }
+        any
+    }
+
+    /// Reserves the host-bound channel bus (e.g. for NMP result return);
+    /// returns the cycle the transfer completes.
+    pub fn reserve_channel(&mut self, not_before: Cycle, bursts: u32) -> Cycle {
+        let dur = Cycle::from(bursts) * self.cfg.timing.t_bl;
+        let start = self.channel_bus.earliest(0, not_before);
+        self.channel_bus.reserve(0, start, dur);
+        start + dur
+    }
+
+    /// Statistics of the run so far.
+    pub fn stats(&self) -> &RunStats {
+        &self.stats
+    }
+
+    /// Mutable access to the energy counters (engines add PE/IO events).
+    pub fn energy_mut(&mut self) -> &mut EnergyCounters {
+        &mut self.stats.energy
+    }
+
+    /// Channel-bus utilization over the run so far.
+    pub fn channel_utilization(&self) -> f64 {
+        self.channel_bus.utilization(0, self.stats.finish)
+    }
+
+    /// Per-rank data-bus utilizations over the run so far.
+    pub fn rank_utilizations(&self) -> Vec<f64> {
+        (0..self.cfg.topology.ranks as usize)
+            .map(|r| self.rank_bus.utilization(r, self.stats.finish))
+            .collect()
+    }
+
+    /// Chooses the globally earliest next command:
+    /// `(bank, index, step, estimated cycle)`.
+    fn pick_next(&self) -> Option<(usize, usize, Step, Cycle)> {
+        let mut best: Option<(Cycle, usize, usize, Step)> = None;
+        for (bank, q) in self.queues.iter().enumerate() {
+            if q.is_empty() {
+                continue;
+            }
+            let Some((idx, step, est)) = self.bank_candidate(q) else {
+                continue;
+            };
+            if best.is_none_or(|(b, _, _, _)| est < b) {
+                best = Some((est, bank, idx, step));
+            }
+        }
+        best.map(|(est, bank, idx, step)| (bank, idx, step, est))
+    }
+
+    /// The bank's next candidate: the policy pick, plus (for SALP banks) an
+    /// overlapping activation from another queued request if it can issue
+    /// earlier.
+    fn bank_candidate(&self, q: &VecDeque<ActiveRequest>) -> Option<(usize, Step, Cycle)> {
+        let window = self.bank_window.min(q.len());
+        // Policy pick among requests in the window.
+        let primary = self.select_in_window(q, window)?;
+        let (p_step, p_est) = self.next_step(&q[primary]);
+        let mut best = (primary, p_step, p_est);
+        // Overlap: a pending SALP activation (different request) that can
+        // issue strictly earlier than the policy pick's step — but never
+        // one that would thrash a local row buffer another queued request
+        // still needs (same-subarray conflicts re-activate endlessly).
+        let topo = &self.cfg.topology;
+        'outer: for (i, a) in q.iter().enumerate().take(window) {
+            if i == primary || !a.req.salp {
+                continue;
+            }
+            let (step, est) = self.next_step(a);
+            if step != Step::ActSa || est >= best.2 {
+                continue;
+            }
+            let sa = a.req.addr.subarray(topo);
+            for (j, other) in q.iter().enumerate().take(window) {
+                if j == i || !other.req.salp {
+                    continue;
+                }
+                let other_sa = other.req.addr.subarray(topo);
+                if other_sa != sa {
+                    continue;
+                }
+                // The buffer currently holds a row some request wants, or
+                // an older request needs a different row of this subarray
+                // first: leave it alone.
+                let useful =
+                    self.timing.local_row(&other.req.addr, other_sa) == Some(other.req.addr.row);
+                if useful || (j < i && other.req.addr.row != a.req.addr.row) {
+                    continue 'outer;
+                }
+            }
+            best = (i, step, est);
+        }
+        Some(best)
+    }
+
+    /// Applies the scheduling policy within one bank window.
+    fn select_in_window(&self, q: &VecDeque<ActiveRequest>, window: usize) -> Option<usize> {
+        let topo = &self.cfg.topology;
+        let in_window = || q.iter().enumerate().take(window);
+        let first_eligible = in_window().next()?.0;
+        match self.policy {
+            SchedulePolicy::Fcfs => Some(first_eligible),
+            SchedulePolicy::FrFcfs => Some(
+                in_window()
+                    .find(|(_, a)| self.is_row_hit(&a.req))
+                    .map(|(i, _)| i)
+                    .unwrap_or(first_eligible),
+            ),
+            SchedulePolicy::LocalityAware => {
+                // Priority 1: hit in the *selected* local row buffer (or a
+                // plain open-row hit for non-SALP requests).
+                if let Some((i, _)) = in_window().find(|(_, a)| {
+                    let r = &a.req;
+                    if r.salp {
+                        let sa = r.addr.subarray(topo);
+                        self.timing.selected_subarray(&r.addr) == Some(sa)
+                            && self.timing.local_row(&r.addr, sa) == Some(r.addr.row)
+                    } else {
+                        self.timing.open_row(&r.addr) == Some(r.addr.row)
+                    }
+                }) {
+                    return Some(i);
+                }
+                // Priority 2: hit in any activated local row buffer.
+                if let Some((i, _)) = in_window().find(|(_, a)| {
+                    a.req.salp
+                        && self
+                            .timing
+                            .local_row(&a.req.addr, a.req.addr.subarray(topo))
+                            == Some(a.req.addr.row)
+                }) {
+                    return Some(i);
+                }
+                // Priority 3: request in a different subarray than the
+                // currently selected one (activation overlaps).
+                if let Some(sel) = q
+                    .front()
+                    .and_then(|a| self.timing.selected_subarray(&a.req.addr))
+                {
+                    if let Some((i, _)) =
+                        in_window().find(|(_, a)| a.req.salp && a.req.addr.subarray(topo) != sel)
+                    {
+                        return Some(i);
+                    }
+                }
+                Some(first_eligible)
+            }
+        }
+    }
+
+    fn is_row_hit(&self, r: &ReadRequest) -> bool {
+        let topo = &self.cfg.topology;
+        if r.salp {
+            self.timing.local_row(&r.addr, r.addr.subarray(topo)) == Some(r.addr.row)
+        } else {
+            self.timing.open_row(&r.addr) == Some(r.addr.row)
+        }
+    }
+
+    /// The next command a request needs, with its earliest issue estimate.
+    fn next_step(&self, a: &ActiveRequest) -> (Step, Cycle) {
+        let topo = &self.cfg.topology;
+        let r = &a.req;
+        let (step, kind) = if r.salp {
+            let sa = r.addr.subarray(topo);
+            if self.timing.local_row(&r.addr, sa) != Some(r.addr.row) {
+                (Step::ActSa, CommandKind::ActSa)
+            } else if self.timing.selected_subarray(&r.addr) != Some(sa) {
+                (Step::SelSa, CommandKind::SelSa)
+            } else {
+                (Step::Rd, CommandKind::Rd)
+            }
+        } else {
+            match self.timing.open_row(&r.addr) {
+                Some(row) if row == r.addr.row => {
+                    if r.write {
+                        (Step::Wr, CommandKind::Wr)
+                    } else {
+                        (Step::Rd, CommandKind::Rd)
+                    }
+                }
+                Some(_) => (Step::Pre, CommandKind::Pre),
+                None => (Step::Act, CommandKind::Act),
+            }
+        };
+        let mut addr = r.addr;
+        if matches!(step, Step::Rd | Step::Wr) {
+            addr.col_byte += a.bursts_done * topo.burst_bytes;
+        }
+        let cmd = Command {
+            kind,
+            addr,
+            data_scope: data_scope_of(r.dest),
+        };
+        let est = self
+            .timing
+            .earliest(&cmd)
+            .unwrap_or(Cycle::MAX / 2)
+            .max(r.ready_at);
+        (step, est)
+    }
+
+    /// Issues the chosen step; pops the request if it completed.
+    fn perform(&mut self, bank: usize, idx: usize, step: Step) {
+        let topo = self.cfg.topology;
+        let timing = self.cfg.timing;
+        let a = self.queues[bank][idx];
+        let r = a.req;
+        match step {
+            Step::Pre => {
+                self.issue(CommandKind::Pre, r.addr, r.ready_at, data_scope_of(r.dest));
+            }
+            Step::Act => {
+                self.issue(CommandKind::Act, r.addr, r.ready_at, data_scope_of(r.dest));
+                if !a.classified {
+                    self.stats.row_misses += 1;
+                    self.queues[bank][idx].classified = true;
+                }
+            }
+            Step::ActSa => {
+                self.issue(
+                    CommandKind::ActSa,
+                    r.addr,
+                    r.ready_at,
+                    data_scope_of(r.dest),
+                );
+                if !a.classified {
+                    self.stats.row_misses += 1;
+                    self.queues[bank][idx].classified = true;
+                }
+            }
+            Step::SelSa => {
+                self.issue(
+                    CommandKind::SelSa,
+                    r.addr,
+                    r.ready_at,
+                    data_scope_of(r.dest),
+                );
+            }
+            Step::Wr => {
+                let mut addr = r.addr;
+                addr.col_byte += a.bursts_done * topo.burst_bytes;
+                let wr_at = self.issue(CommandKind::Wr, addr, r.ready_at, data_scope_of(r.dest));
+                let data_end = self.reserve_data_path(&addr, r.dest, wr_at + timing.t_cwl);
+                let bits = u64::from(topo.burst_bytes) * 8;
+                self.stats.energy.rd_wr_bits += bits;
+                if matches!(r.dest, BusScope::Channel) {
+                    self.stats.energy.io_bits += bits;
+                }
+                self.stats.finish = self.stats.finish.max(data_end);
+                let entry = &mut self.queues[bank][idx];
+                if !entry.classified {
+                    self.stats.row_hits += 1;
+                    entry.classified = true;
+                    entry.was_hit = true;
+                }
+                entry.bursts_done += 1;
+                entry.last_data = entry.last_data.max(data_end);
+                if entry.bursts_done == r.bursts {
+                    let done_at = entry.last_data;
+                    self.completions.push(Completion {
+                        id: r.id,
+                        done_at,
+                        row_hit: entry.was_hit,
+                    });
+                    self.queues[bank].remove(idx);
+                    if r.auto_precharge && self.timing.open_row(&r.addr).is_some() {
+                        self.issue(CommandKind::Pre, r.addr, r.ready_at, data_scope_of(r.dest));
+                    }
+                    self.outstanding -= 1;
+                    if let Some(next) = self.pending.pop_front() {
+                        self.admit(next, done_at);
+                    }
+                }
+            }
+            Step::Rd => {
+                let mut addr = r.addr;
+                addr.col_byte += a.bursts_done * topo.burst_bytes;
+                let rd_at = self.issue(CommandKind::Rd, addr, r.ready_at, data_scope_of(r.dest));
+                let data_end = self.reserve_data_path(&addr, r.dest, rd_at + timing.t_cl);
+                let bits = u64::from(topo.burst_bytes) * 8;
+                self.stats.energy.rd_wr_bits += bits;
+                if matches!(r.dest, BusScope::Channel) {
+                    self.stats.energy.io_bits += bits;
+                }
+                self.stats.finish = self.stats.finish.max(data_end);
+                let entry = &mut self.queues[bank][idx];
+                if !entry.classified {
+                    // First step is a read → the request was a row hit.
+                    self.stats.row_hits += 1;
+                    entry.classified = true;
+                    entry.was_hit = true;
+                }
+                entry.bursts_done += 1;
+                entry.last_data = entry.last_data.max(data_end);
+                if entry.bursts_done == r.bursts {
+                    let done_at = entry.last_data;
+                    self.completions.push(Completion {
+                        id: r.id,
+                        done_at,
+                        row_hit: entry.was_hit,
+                    });
+                    self.queues[bank].remove(idx);
+                    if r.auto_precharge && self.timing.open_row(&r.addr).is_some() {
+                        self.issue(CommandKind::Pre, r.addr, r.ready_at, data_scope_of(r.dest));
+                    }
+                    self.outstanding -= 1;
+                    // A freed global-queue slot admits the next pending
+                    // request, no earlier than this completion.
+                    if let Some(next) = self.pending.pop_front() {
+                        self.admit(next, done_at);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Reserves the buses a burst crosses on its way to `dest`, starting at
+    /// the earliest common free slot ≥ `not_before`; returns the end cycle.
+    fn reserve_data_path(&mut self, addr: &PhysAddr, dest: BusScope, not_before: Cycle) -> Cycle {
+        let topo = &self.cfg.topology;
+        let dur = self.cfg.timing.t_bl;
+        let g = addr.flat_bank_group(topo) as usize;
+        let r = addr.rank as usize;
+        let (use_g, use_r, use_c) = match dest {
+            BusScope::Bank => (false, false, false),
+            BusScope::BankGroup => (true, false, false),
+            BusScope::Rank => (true, true, false),
+            BusScope::Channel => (true, true, true),
+        };
+        let mut start = not_before;
+        if use_g {
+            start = self.group_bus.earliest(g, start);
+        }
+        if use_r {
+            start = self.rank_bus.earliest(r, start);
+        }
+        if use_c {
+            start = self.channel_bus.earliest(0, start);
+        }
+        if use_g {
+            start = start.max(self.group_bus.earliest(g, start));
+        }
+        if use_r {
+            start = start.max(self.rank_bus.earliest(r, start));
+        }
+        if use_g {
+            self.group_bus.reserve(g, start, dur);
+        }
+        if use_r {
+            self.rank_bus.reserve(r, start, dur);
+        }
+        if use_c {
+            self.channel_bus.reserve(0, start, dur);
+        }
+        start + dur
+    }
+
+    /// Issues one command as early as legal (≥ `not_before`), updating state.
+    fn issue(
+        &mut self,
+        kind: CommandKind,
+        addr: PhysAddr,
+        not_before: Cycle,
+        data_scope: DataScope,
+    ) -> Cycle {
+        let cmd = Command {
+            kind,
+            addr,
+            data_scope,
+        };
+        let at = self
+            .timing
+            .earliest(&cmd)
+            .unwrap_or_else(|e| panic!("illegal {kind} at {addr}: {e}"))
+            .max(not_before);
+        self.timing.commit(&cmd, at);
+        if kind.is_activate() {
+            self.stats.energy.activations += 1;
+        }
+        let idx = match kind {
+            CommandKind::Act => 0,
+            CommandKind::Rd | CommandKind::Wr => 1,
+            CommandKind::Pre => 2,
+            CommandKind::ActSa => 3,
+            CommandKind::SelSa => 4,
+            CommandKind::Ref => 5,
+        };
+        self.stats.issued[idx] += 1;
+        let latest = &mut self.rank_latest[addr.rank as usize];
+        *latest = (*latest).max(at);
+        if let Some(trace) = &mut self.trace {
+            trace.push(IssuedCommand {
+                command: cmd,
+                cycle: at,
+            });
+        }
+        at
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> DramConfig {
+        DramConfig::ddr5_4800()
+    }
+
+    fn req(
+        id: u64,
+        rank: u32,
+        bg: u32,
+        bank: u32,
+        row: u32,
+        col: u32,
+        bursts: u32,
+        dest: BusScope,
+    ) -> ReadRequest {
+        ReadRequest {
+            id,
+            addr: PhysAddr {
+                channel: 0,
+                rank,
+                bank_group: bg,
+                bank,
+                row,
+                col_byte: col,
+            },
+            bursts,
+            ready_at: 0,
+            dest,
+            salp: false,
+            auto_precharge: false,
+            write: false,
+        }
+    }
+
+    #[test]
+    fn single_read_latency() {
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 10, 0, 1, BusScope::Channel));
+        let done = ctl.run();
+        assert_eq!(done.len(), 1);
+        assert!(!done[0].row_hit);
+        assert_eq!(done[0].done_at, t.t_rcd + t.t_cl + t.t_bl);
+    }
+
+    #[test]
+    fn row_hit_is_faster() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 10, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 0, 0, 0, 10, 64, 1, BusScope::Channel));
+        let done = ctl.run();
+        assert_eq!(ctl.stats().row_hits, 1);
+        assert_eq!(ctl.stats().row_misses, 1);
+        assert!(done.iter().any(|c| c.row_hit));
+    }
+
+    #[test]
+    fn frfcfs_prefers_open_row() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 10, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 0, 0, 0, 20, 0, 1, BusScope::Channel)); // older miss
+        ctl.enqueue(req(3, 0, 0, 0, 10, 64, 1, BusScope::Channel)); // younger hit
+        let done = ctl.run();
+        let pos = |id: u64| done.iter().position(|c| c.id == id).expect("done");
+        assert!(pos(3) < pos(2), "row hit should bypass the older miss");
+    }
+
+    #[test]
+    fn fcfs_preserves_order() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::Fcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 10, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 0, 0, 0, 20, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(3, 0, 0, 0, 10, 64, 1, BusScope::Channel));
+        let done = ctl.run();
+        let pos = |id: u64| done.iter().position(|c| c.id == id).unwrap();
+        assert!(pos(2) < pos(3));
+    }
+
+    #[test]
+    fn bank_window_limits_reordering() {
+        // The row hit sits beyond a window of 1 → no bypassing.
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs).with_bank_window(1);
+        ctl.enqueue(req(1, 0, 0, 0, 10, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 0, 0, 0, 20, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(3, 0, 0, 0, 10, 64, 1, BusScope::Channel));
+        let done = ctl.run();
+        let pos = |id: u64| done.iter().position(|c| c.id == id).unwrap();
+        assert!(pos(2) < pos(3), "window 1 degrades to FCFS");
+    }
+
+    #[test]
+    fn global_window_throttles_parallelism() {
+        let c = cfg();
+        // 8 single-burst reads to 8 different banks; with a global window
+        // of 1 they serialize, without it they overlap.
+        let build = |win: Option<usize>| {
+            let mut ctl = Controller::new(c.clone(), SchedulePolicy::FrFcfs);
+            if let Some(w) = win {
+                ctl = ctl.with_global_window(w);
+            }
+            for i in 0..8u64 {
+                ctl.enqueue(req(i, 0, i as u32 % 8, 0, 1, 0, 1, BusScope::Rank));
+            }
+            ctl.run().last().unwrap().done_at
+        };
+        let unbounded = build(None);
+        let serialized = build(Some(1));
+        assert!(serialized > unbounded, "{serialized} vs {unbounded}");
+    }
+
+    #[test]
+    fn bursts_interleave_across_banks() {
+        // Two 4-burst rank-bound reads to different bank groups of a rank:
+        // with per-command scheduling, total time is much less than 2×
+        // sequential (bursts interleave at tCCD_S on the rank bus).
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 1, 0, 4, BusScope::Rank));
+        ctl.enqueue(req(2, 0, 1, 0, 1, 0, 4, BusScope::Rank));
+        let done = ctl.run();
+        let last = done.last().unwrap().done_at;
+        // Sequential would be ≈ tRRD + tRCD + (4 bursts × tCCD_L) × 2.
+        let sequential = t.t_rrd_s + t.t_rcd + 8 * t.t_ccd_l + t.t_cl;
+        assert!(
+            last < sequential,
+            "{last} should interleave below {sequential}"
+        );
+    }
+
+    #[test]
+    fn channel_bus_serializes_cross_rank_host_reads() {
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 1, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 1, 0, 0, 1, 0, 1, BusScope::Channel));
+        let done = ctl.run();
+        let base = t.t_rcd + t.t_cl + t.t_bl;
+        assert_eq!(done[0].done_at, base);
+        assert_eq!(done[1].done_at, base + t.t_bl, "bursts back-to-back");
+    }
+
+    #[test]
+    fn rank_level_nmp_overlaps_ranks() {
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 1, 0, 1, BusScope::Rank));
+        ctl.enqueue(req(2, 1, 0, 0, 1, 0, 1, BusScope::Rank));
+        let done = ctl.run();
+        assert!(done.iter().all(|c| c.done_at == t.t_rcd + t.t_cl + t.t_bl));
+    }
+
+    #[test]
+    fn mixed_levels_share_act_windows_but_not_buses() {
+        // A bank-level read and a host-bound read in different bank groups
+        // of one rank: the host read must not queue behind the bank read on
+        // any bus; ACT windows (tRRD_S) still interleave them.
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 1, 0, 4, BusScope::Bank));
+        ctl.enqueue(req(2, 0, 1, 0, 1, 0, 4, BusScope::Channel));
+        let done = ctl.run();
+        let host = done.iter().find(|c| c.id == 2).unwrap();
+        let expect = t.t_rrd_s + t.t_rcd + t.t_cl + 3 * t.t_ccd_l + t.t_bl;
+        assert!(
+            host.done_at <= expect + t.t_rrd_s,
+            "got {} want ≤ {}",
+            host.done_at,
+            expect + t.t_rrd_s
+        );
+    }
+
+    #[test]
+    fn salp_overlaps_same_bank_rows() {
+        let c = cfg();
+        let mk = |salp: bool, policy| {
+            let mut ctl = Controller::new(c.clone(), policy);
+            for (i, row) in [0u32, 256].iter().enumerate() {
+                ctl.enqueue(ReadRequest {
+                    id: i as u64,
+                    addr: PhysAddr {
+                        channel: 0,
+                        rank: 0,
+                        bank_group: 0,
+                        bank: 0,
+                        row: *row,
+                        col_byte: 0,
+                    },
+                    bursts: 4,
+                    ready_at: 0,
+                    dest: BusScope::Bank,
+                    salp,
+                    auto_precharge: false,
+                    write: false,
+                });
+            }
+            ctl.run().last().unwrap().done_at
+        };
+        let serial = mk(false, SchedulePolicy::FrFcfs);
+        let salp = mk(true, SchedulePolicy::LocalityAware);
+        assert!(salp < serial, "SALP {salp} should beat serial {serial}");
+    }
+
+    #[test]
+    fn salp_activation_overlaps_reads() {
+        // With per-command scheduling, the second request's ACT_SA issues
+        // while the first request's bursts stream — the Figure 6(c) overlap.
+        let c = cfg();
+        let mut ctl = Controller::new(c, SchedulePolicy::LocalityAware);
+        ctl.record_trace();
+        for (i, row) in [0u32, 256].iter().enumerate() {
+            ctl.enqueue(ReadRequest {
+                id: i as u64,
+                addr: PhysAddr {
+                    channel: 0,
+                    rank: 0,
+                    bank_group: 0,
+                    bank: 0,
+                    row: *row,
+                    col_byte: 0,
+                },
+                bursts: 8,
+                ready_at: 0,
+                dest: BusScope::Bank,
+                salp: true,
+                auto_precharge: false,
+                write: false,
+            });
+        }
+        ctl.run();
+        let trace = ctl.trace().unwrap();
+        let acts: Vec<Cycle> = trace
+            .iter()
+            .filter(|ic| ic.command.kind == CommandKind::ActSa)
+            .map(|ic| ic.cycle)
+            .collect();
+        let first_rd = trace
+            .iter()
+            .find(|ic| ic.command.kind == CommandKind::Rd)
+            .unwrap()
+            .cycle;
+        assert_eq!(acts.len(), 2);
+        assert!(
+            acts[1] < first_rd + 8,
+            "second ACT_SA ({}) should overlap the first request's reads ({first_rd})",
+            acts[1]
+        );
+    }
+
+    #[test]
+    fn trace_recording_sorted() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.record_trace();
+        ctl.enqueue(req(1, 0, 0, 0, 10, 0, 2, BusScope::Channel));
+        ctl.enqueue(req(2, 1, 0, 0, 10, 0, 1, BusScope::Channel));
+        ctl.run();
+        let trace = ctl.trace().unwrap();
+        assert_eq!(trace.len(), 5); // 2×ACT + 3×RD
+        assert!(trace.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+    }
+
+    #[test]
+    #[should_panic(expected = "crosses a row boundary")]
+    fn row_crossing_request_rejected() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 0, 8_192 - 64, 2, BusScope::Channel));
+    }
+
+    #[test]
+    fn ready_at_defers_service() {
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        let mut r = req(1, 0, 0, 0, 0, 0, 1, BusScope::Channel);
+        r.ready_at = 1000;
+        ctl.enqueue(r);
+        let done = ctl.run();
+        assert_eq!(done[0].done_at, 1000 + t.t_rcd + t.t_cl + t.t_bl);
+    }
+
+    #[test]
+    fn io_bits_counted_only_for_host_reads() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 0, 0, 2, BusScope::Channel));
+        ctl.enqueue(req(2, 0, 1, 0, 0, 0, 2, BusScope::Bank));
+        ctl.run();
+        let e = &ctl.stats().energy;
+        assert_eq!(e.rd_wr_bits, 4 * 64 * 8);
+        assert_eq!(e.io_bits, 2 * 64 * 8);
+    }
+
+    #[test]
+    fn reserve_channel_for_results() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        let t1 = ctl.reserve_channel(0, 4);
+        let t2 = ctl.reserve_channel(0, 4);
+        assert_eq!(t1, 32);
+        assert_eq!(t2, 64, "serialized behind the first transfer");
+    }
+
+    #[test]
+    fn writes_complete_and_block_reads() {
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        let a = PhysAddr {
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row: 3,
+            col_byte: 0,
+        };
+        ctl.enqueue(ReadRequest::write_from_host(1, a, 2));
+        let mut read = ReadRequest::to_host(2, a, 1);
+        read.addr.col_byte = 512;
+        ctl.enqueue(read);
+        let done = ctl.run();
+        assert_eq!(done.len(), 2);
+        let wr = done.iter().find(|c| c.id == 1).unwrap();
+        let rd = done.iter().find(|c| c.id == 2).unwrap();
+        // The read waited out the write-to-read turnaround.
+        assert!(
+            rd.done_at > wr.done_at - t.t_bl,
+            "{} vs {}",
+            rd.done_at,
+            wr.done_at
+        );
+        assert_eq!(ctl.stats().issued[1], 3, "2 WR bursts + 1 RD");
+    }
+
+    #[test]
+    #[should_panic(expected = "not SALP")]
+    fn salp_write_rejected() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        let a = PhysAddr {
+            channel: 0,
+            rank: 0,
+            bank_group: 0,
+            bank: 0,
+            row: 0,
+            col_byte: 0,
+        };
+        let mut r = ReadRequest::write_from_host(1, a, 1);
+        r.salp = true;
+        ctl.enqueue(r);
+    }
+
+    #[test]
+    fn refresh_cadence_enforced() {
+        let c = cfg();
+        let _t_refi = c.timing.t_refi;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.record_trace();
+        // Spread many single-burst reads over a window longer than tREFI.
+        for i in 0..400u64 {
+            let mut r = req(
+                i,
+                0,
+                (i % 8) as u32,
+                0,
+                (i % 512) as u32,
+                0,
+                1,
+                BusScope::Channel,
+            );
+            r.ready_at = i * 100; // ~40k cycles of activity
+            ctl.enqueue(r);
+        }
+        ctl.run();
+        let refs = ctl.stats().issued[5];
+        // ~40k cycles / 9360 ≈ 4 refreshes per rank due; only rank 0 is
+        // used but both ranks refresh on cadence.
+        assert!(refs >= 4, "expected refreshes, got {refs}");
+        // The emitted schedule stays valid under replay.
+        let trace = ctl.trace().unwrap();
+        let cfg2 = cfg();
+        let v = crate::check::check_trace(cfg2.topology, cfg2.timing, &trace);
+        assert!(v.is_empty(), "{:?}", &v[..v.len().min(3)]);
+    }
+
+    #[test]
+    fn refresh_disabled_when_trefi_zero() {
+        let mut c = cfg();
+        c.timing.t_refi = 0;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        let mut r = req(1, 0, 0, 0, 0, 0, 1, BusScope::Channel);
+        r.ready_at = 100_000;
+        ctl.enqueue(r);
+        ctl.run();
+        assert_eq!(ctl.stats().issued[5], 0);
+    }
+
+    #[test]
+    fn bank_loads_counted() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 0, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 0, 0, 0, 1, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(3, 0, 1, 0, 0, 0, 1, BusScope::Channel));
+        ctl.run();
+        let loads = &ctl.stats().bank_loads;
+        assert_eq!(loads.iter().sum::<u64>(), 3);
+        assert_eq!(loads[0], 2);
+    }
+}

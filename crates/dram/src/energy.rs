@@ -1,0 +1,138 @@
+//! Energy accounting.
+//!
+//! Counts the events the paper's energy model charges for (Table 2 / Fig. 15):
+//! row activations, DRAM array read/write bits, off-chip I/O bits, PE
+//! floating-point operations, and execution-time-proportional static energy.
+
+use crate::config::{Cycle, DramConfig, EnergyParams};
+
+/// Raw event counters filled in by the simulators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct EnergyCounters {
+    /// Row activations (ACT and SALP ACT).
+    pub activations: u64,
+    /// All-bank refreshes issued.
+    pub refreshes: u64,
+    /// Bits read from / written to DRAM arrays.
+    pub rd_wr_bits: u64,
+    /// Bits crossing the off-chip (DIMM↔host) interface.
+    pub io_bits: u64,
+    /// FP32 additions performed by PEs (or CPU, for the baseline).
+    pub fp_adds: u64,
+    /// FP32 multiplications performed by PEs.
+    pub fp_muls: u64,
+}
+
+impl EnergyCounters {
+    /// Merges another counter set into this one.
+    pub fn merge(&mut self, other: &EnergyCounters) {
+        self.activations += other.activations;
+        self.refreshes += other.refreshes;
+        self.rd_wr_bits += other.rd_wr_bits;
+        self.io_bits += other.io_bits;
+        self.fp_adds += other.fp_adds;
+        self.fp_muls += other.fp_muls;
+    }
+}
+
+/// An energy breakdown in picojoules (Figure 15's stacked components).
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct EnergyBreakdown {
+    /// Activation energy.
+    pub act_pj: f64,
+    /// DRAM array read/write energy.
+    pub rd_wr_pj: f64,
+    /// Off-chip I/O energy.
+    pub io_pj: f64,
+    /// PE arithmetic energy.
+    pub pe_pj: f64,
+    /// Static (background) energy over the run's duration.
+    pub static_pj: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy in picojoules.
+    pub fn total_pj(&self) -> f64 {
+        self.act_pj + self.rd_wr_pj + self.io_pj + self.pe_pj + self.static_pj
+    }
+
+    /// Computes a breakdown from counters, a run duration, and the config.
+    pub fn from_counters(counters: &EnergyCounters, duration: Cycle, cfg: &DramConfig) -> Self {
+        let e: &EnergyParams = &cfg.energy;
+        let seconds = cfg.cycles_to_ns(duration) * 1e-9;
+        let ranks = f64::from(cfg.topology.ranks * cfg.topology.channels);
+        Self {
+            act_pj: counters.activations as f64 * e.act_pj + counters.refreshes as f64 * e.ref_pj,
+            rd_wr_pj: counters.rd_wr_bits as f64 * e.rd_wr_pj_per_bit,
+            io_pj: counters.io_bits as f64 * e.io_pj_per_bit,
+            pe_pj: counters.fp_adds as f64 * e.fp32_add_pj
+                + counters.fp_muls as f64 * e.fp32_mul_pj,
+            // mW × s = mJ = 1e9 pJ.
+            static_pj: e.static_mw_per_rank * ranks * seconds * 1e9,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_merge() {
+        let mut a = EnergyCounters {
+            activations: 1,
+            rd_wr_bits: 10,
+            ..Default::default()
+        };
+        let b = EnergyCounters {
+            activations: 2,
+            io_bits: 5,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.activations, 3);
+        assert_eq!(a.rd_wr_bits, 10);
+        assert_eq!(a.io_bits, 5);
+    }
+
+    #[test]
+    fn breakdown_matches_constants() {
+        let cfg = DramConfig::ddr5_4800();
+        let c = EnergyCounters {
+            activations: 10,
+            refreshes: 0,
+            rd_wr_bits: 1000,
+            io_bits: 500,
+            fp_adds: 100,
+            fp_muls: 10,
+        };
+        let e = EnergyBreakdown::from_counters(&c, 0, &cfg);
+        assert!((e.act_pj - 20_000.0).abs() < 1e-9); // 10 × 2 nJ
+        assert!((e.rd_wr_pj - 4_200.0).abs() < 1e-9);
+        assert!((e.io_pj - 2_000.0).abs() < 1e-9);
+        assert!((e.pe_pj - (90.0 + 24.0)).abs() < 1e-9);
+        assert_eq!(e.static_pj, 0.0);
+        assert!((e.total_pj() - (20_000.0 + 4_200.0 + 2_000.0 + 114.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn refresh_energy_in_act_bucket() {
+        let cfg = DramConfig::ddr5_4800();
+        let c = EnergyCounters {
+            refreshes: 3,
+            ..Default::default()
+        };
+        let e = EnergyBreakdown::from_counters(&c, 0, &cfg);
+        assert!((e.act_pj - 3.0 * cfg.energy.ref_pj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn static_energy_scales_with_time() {
+        let cfg = DramConfig::ddr5_4800();
+        let c = EnergyCounters::default();
+        let e1 = EnergyBreakdown::from_counters(&c, 2_400_000, &cfg); // 1 ms
+        let e2 = EnergyBreakdown::from_counters(&c, 4_800_000, &cfg); // 2 ms
+        assert!(e1.static_pj > 0.0);
+        assert!((e2.static_pj / e1.static_pj - 2.0).abs() < 1e-9);
+    }
+}

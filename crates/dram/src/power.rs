@@ -1,0 +1,215 @@
+//! IDD-current-based DRAM power model (DRAMPower / Micron-calculator
+//! methodology — the paper derives DRAM energy from the Micron DDR4 power
+//! calculator, its ref. 46).
+//!
+//! Average power is assembled from datasheet IDD currents: background
+//! standby power (IDD2N/IDD3N weighted by how long rows are open),
+//! activate/precharge power (IDD0 minus the standby already counted),
+//! read/write burst power (IDD4R/IDD4W minus active standby), and refresh
+//! power (IDD5B over tRFC every tREFI).
+
+use crate::config::{Cycle, DramConfig};
+use crate::controller::RunStats;
+
+/// Datasheet IDD currents (mA, per rank) and supply voltage.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IddParams {
+    /// Supply voltage (V).
+    pub vdd: f64,
+    /// One-bank activate-precharge current.
+    pub idd0: f64,
+    /// Precharge standby current.
+    pub idd2n: f64,
+    /// Active standby current.
+    pub idd3n: f64,
+    /// Burst read current.
+    pub idd4r: f64,
+    /// Burst write current.
+    pub idd4w: f64,
+    /// Burst refresh current.
+    pub idd5b: f64,
+}
+
+impl IddParams {
+    /// Representative DDR5-4800 ×8 device currents (per rank of 8 devices,
+    /// scaled; in the same spirit as the Micron calculator defaults).
+    pub fn ddr5_4800() -> Self {
+        Self {
+            vdd: 1.1,
+            idd0: 8.0 * 60.0,
+            idd2n: 8.0 * 50.0,
+            idd3n: 8.0 * 58.0,
+            idd4r: 8.0 * 140.0,
+            idd4w: 8.0 * 130.0,
+            idd5b: 8.0 * 190.0,
+        }
+    }
+}
+
+/// Average-power breakdown in milliwatts.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct PowerReport {
+    /// Background (standby) power.
+    pub background_mw: f64,
+    /// Activate/precharge power.
+    pub act_pre_mw: f64,
+    /// Read/write burst power.
+    pub rd_wr_mw: f64,
+    /// Refresh power.
+    pub refresh_mw: f64,
+}
+
+impl PowerReport {
+    /// Total average power (mW).
+    pub fn total_mw(&self) -> f64 {
+        self.background_mw + self.act_pre_mw + self.rd_wr_mw + self.refresh_mw
+    }
+
+    /// Total energy over `duration` cycles, in picojoules.
+    pub fn energy_pj(&self, duration: Cycle, cfg: &DramConfig) -> f64 {
+        let seconds = cfg.cycles_to_ns(duration) * 1e-9;
+        self.total_mw() * seconds * 1e9 // mW × s = mJ = 1e9 pJ
+    }
+
+    /// Builds the report from run statistics over `duration` cycles.
+    ///
+    /// The active-standby fraction is estimated from activations: each ACT
+    /// keeps its bank open ≈ tRAS; with `banks_per_rank` banks per rank the
+    /// per-rank "some-row-open" duty cycle saturates quickly under load.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `duration == 0`.
+    pub fn from_stats(
+        stats: &RunStats,
+        duration: Cycle,
+        cfg: &DramConfig,
+        idd: &IddParams,
+    ) -> Self {
+        assert!(duration > 0, "duration must be positive");
+        let t = &cfg.timing;
+        let ranks = f64::from(cfg.topology.ranks);
+        let dur = duration as f64;
+        let acts = stats.energy.activations as f64;
+        let bursts = stats.energy.rd_wr_bits as f64 / (f64::from(cfg.topology.burst_bytes) * 8.0);
+        let refreshes = stats.energy.refreshes as f64;
+
+        // Duty cycles.
+        let open_cycles = (acts * t.t_ras as f64).min(dur * ranks);
+        let active_frac = open_cycles / (dur * ranks);
+        let burst_frac = (bursts * t.t_bl as f64 / dur).min(ranks) / ranks;
+        let refresh_frac = (refreshes * t.t_rfc as f64 / dur).min(ranks) / ranks;
+
+        let p = |ma: f64| ma * idd.vdd; // mA × V = mW
+        let background = ranks * (active_frac * p(idd.idd3n) + (1.0 - active_frac) * p(idd.idd2n));
+        // Activate/precharge: IDD0 above the active-standby floor, for tRC
+        // per activation.
+        let act_power_each = (p(idd.idd0) - p(idd.idd3n)).max(0.0);
+        // tFAW caps concurrent row cycles at ~4 per rank.
+        let act_duty = (acts * t.t_rc as f64 / dur).min(ranks * 4.0);
+        let act_pre = act_duty * act_power_each;
+        let rd_wr = ranks * burst_frac * (p(idd.idd4r) - p(idd.idd3n)).max(0.0);
+        let refresh = ranks * refresh_frac * (p(idd.idd5b) - p(idd.idd2n)).max(0.0);
+        Self {
+            background_mw: background,
+            act_pre_mw: act_pre,
+            rd_wr_mw: rd_wr,
+            refresh_mw: refresh,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::addr::PhysAddr;
+    use crate::controller::{Controller, ReadRequest, SchedulePolicy};
+
+    fn run(n: u64) -> (RunStats, Cycle) {
+        let cfg = DramConfig::ddr5_4800();
+        let mut ctl = Controller::new(cfg, SchedulePolicy::FrFcfs);
+        for i in 0..n {
+            let mul = i.wrapping_mul(0x9E37_79B9_7F4A_7C15);
+            ctl.enqueue(ReadRequest::to_host(
+                i,
+                PhysAddr {
+                    channel: 0,
+                    rank: (mul >> 5) as u32 % 2,
+                    bank_group: (mul >> 9) as u32 % 8,
+                    bank: (mul >> 17) as u32 % 4,
+                    row: (mul >> 25) as u32 % 1024,
+                    col_byte: 0,
+                },
+                4,
+            ));
+        }
+        ctl.run();
+        let finish = ctl.stats().finish;
+        (ctl.stats().clone(), finish)
+    }
+
+    #[test]
+    fn idle_system_draws_background_only() {
+        let cfg = DramConfig::ddr5_4800();
+        let stats = RunStats::default();
+        let p = PowerReport::from_stats(&stats, 10_000, &cfg, &IddParams::ddr5_4800());
+        assert!(p.background_mw > 0.0);
+        assert_eq!(p.act_pre_mw, 0.0);
+        assert_eq!(p.rd_wr_mw, 0.0);
+        assert_eq!(p.refresh_mw, 0.0);
+    }
+
+    #[test]
+    fn busier_runs_draw_more_power() {
+        let cfg = DramConfig::ddr5_4800();
+        let idd = IddParams::ddr5_4800();
+        let (light_stats, light_dur) = run(50);
+        let (heavy_stats, heavy_dur) = run(2_000);
+        let light = PowerReport::from_stats(&light_stats, light_dur.max(1), &cfg, &idd);
+        let heavy = PowerReport::from_stats(&heavy_stats, heavy_dur.max(1), &cfg, &idd);
+        assert!(
+            heavy.total_mw() > light.total_mw(),
+            "heavy {} vs light {}",
+            heavy.total_mw(),
+            light.total_mw()
+        );
+    }
+
+    #[test]
+    fn energy_consistent_with_power() {
+        let cfg = DramConfig::ddr5_4800();
+        let idd = IddParams::ddr5_4800();
+        let (stats, dur) = run(500);
+        let p = PowerReport::from_stats(&stats, dur, &cfg, &idd);
+        let e = p.energy_pj(dur, &cfg);
+        // P × t identity.
+        let seconds = cfg.cycles_to_ns(dur) * 1e-9;
+        assert!((e - p.total_mw() * seconds * 1e9).abs() < 1.0);
+        assert!(e > 0.0);
+    }
+
+    #[test]
+    fn duty_cycles_bounded() {
+        // Even absurd counter values cannot push fractions beyond physical
+        // bounds (min-clamps in from_stats).
+        let cfg = DramConfig::ddr5_4800();
+        let idd = IddParams::ddr5_4800();
+        let mut stats = RunStats::default();
+        stats.energy.activations = u32::MAX as u64;
+        stats.energy.rd_wr_bits = u32::MAX as u64 * 512;
+        stats.energy.refreshes = 1_000_000;
+        let p = PowerReport::from_stats(&stats, 1_000, &cfg, &idd);
+        // All duty cycles clamped: total bounded by the sum of per-rank
+        // component ceilings.
+        let ranks = 2.0;
+        let ceiling = ranks * (idd.idd3n + 4.0 * idd.idd0 + idd.idd4r + idd.idd5b) * idd.vdd;
+        assert!(p.total_mw() < ceiling, "{}", p.total_mw());
+    }
+
+    #[test]
+    #[should_panic(expected = "duration must be positive")]
+    fn zero_duration_rejected() {
+        let cfg = DramConfig::ddr5_4800();
+        PowerReport::from_stats(&RunStats::default(), 0, &cfg, &IddParams::ddr5_4800());
+    }
+}

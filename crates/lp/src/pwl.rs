@@ -1,0 +1,130 @@
+//! Piecewise-linearization of concave curves.
+//!
+//! The access-distribution functions `f_i(p)` are concave (marginal access
+//! share shrinks as colder rows are added). A concave function that is
+//! *maximized* (equivalently, appears on the "captured accesses" side of a
+//! min-max latency LP) can be represented exactly in an LP as the lower
+//! envelope of its chords: `f(p) ≤ s_k · p + c_k` for each segment `k`.
+
+/// A concave piecewise-linear over-approximation of a function on `[0, 1]`,
+/// stored as segments `y = slope·x + intercept`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PiecewiseLinear {
+    segments: Vec<(f64, f64)>, // (slope, intercept)
+    knots: Vec<(f64, f64)>,    // sampled points, for interpolation/eval
+}
+
+impl PiecewiseLinear {
+    /// Samples `f` at `segments + 1` evenly spaced points on `[0, 1]` and
+    /// builds tangent-chord segments between consecutive samples.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `segments == 0` or `f` returns non-finite values.
+    pub fn from_concave_fn<F: Fn(f64) -> f64>(f: F, segments: usize) -> Self {
+        assert!(segments > 0, "need at least one segment");
+        let knots: Vec<(f64, f64)> = (0..=segments)
+            .map(|i| {
+                let x = i as f64 / segments as f64;
+                let y = f(x);
+                assert!(y.is_finite(), "function value must be finite");
+                (x, y)
+            })
+            .collect();
+        let segments = knots
+            .windows(2)
+            .map(|w| {
+                let (x0, y0) = w[0];
+                let (x1, y1) = w[1];
+                let slope = (y1 - y0) / (x1 - x0);
+                (slope, y0 - slope * x0)
+            })
+            .collect();
+        Self { segments, knots }
+    }
+
+    /// Segment list as `(slope, intercept)` pairs, hottest (steepest) first
+    /// for a concave input.
+    pub fn segments(&self) -> &[(f64, f64)] {
+        &self.segments
+    }
+
+    /// Evaluates the piecewise-linear interpolant at `x ∈ [0, 1]`.
+    pub fn eval(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        // For concave f the interpolant equals the min over chords only at
+        // the knots; between knots use the containing segment.
+        let n = self.segments.len();
+        let idx = ((x * n as f64).floor() as usize).min(n - 1);
+        let (s, c) = self.segments[idx];
+        s * x + c
+    }
+
+    /// Evaluates the *lower envelope* `min_k (s_k x + c_k)` — what the LP
+    /// effectively sees for a concave curve.
+    pub fn envelope(&self, x: f64) -> f64 {
+        let x = x.clamp(0.0, 1.0);
+        self.segments
+            .iter()
+            .map(|&(s, c)| s * x + c)
+            .fold(f64::INFINITY, f64::min)
+    }
+
+    /// The sampled knots.
+    pub fn knots(&self) -> &[(f64, f64)] {
+        &self.knots
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interpolates_exactly_at_knots() {
+        let f = |x: f64| x.sqrt();
+        let pwl = PiecewiseLinear::from_concave_fn(f, 8);
+        for &(x, y) in pwl.knots() {
+            assert!((pwl.eval(x) - y).abs() < 1e-12, "knot ({x}, {y})");
+        }
+    }
+
+    #[test]
+    fn envelope_equals_interpolant_for_concave() {
+        let f = |x: f64| 1.0 - (1.0 - x) * (1.0 - x);
+        let pwl = PiecewiseLinear::from_concave_fn(f, 16);
+        for i in 0..=100 {
+            let x = i as f64 / 100.0;
+            assert!((pwl.envelope(x) - pwl.eval(x)).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn error_shrinks_with_segments() {
+        let f = |x: f64| x.sqrt();
+        let err = |n: usize| {
+            let pwl = PiecewiseLinear::from_concave_fn(f, n);
+            (1..100)
+                .map(|i| {
+                    let x = i as f64 / 100.0;
+                    (pwl.eval(x) - f(x)).abs()
+                })
+                .fold(0.0f64, f64::max)
+        };
+        assert!(err(32) < err(4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one segment")]
+    fn zero_segments_panics() {
+        PiecewiseLinear::from_concave_fn(|x| x, 0);
+    }
+
+    #[test]
+    fn linear_function_is_exact() {
+        let pwl = PiecewiseLinear::from_concave_fn(|x| 2.0 * x + 0.5, 3);
+        for &x in &[0.0, 0.33, 0.7, 1.0] {
+            assert!((pwl.eval(x) - (2.0 * x + 0.5)).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,396 @@
+#![allow(clippy::needless_range_loop)] // dense tableau math reads clearer indexed
+//! Dense two-phase primal simplex.
+//!
+//! Standard textbook construction: every constraint receives a slack (≤),
+//! surplus+artificial (≥), or artificial (=) variable; phase 1 minimizes the
+//! sum of artificials to find a basic feasible solution, phase 2 optimizes
+//! the real objective. Bland's rule is used as an anti-cycling fallback after
+//! a degenerate stretch; Dantzig's rule otherwise for speed. The BWP LPs are
+//! tiny (≈ 100 variables), so a dense tableau is the right tool.
+
+use crate::problem::{LpError, LpProblem, LpSolution, Objective, Relation};
+
+const EPS: f64 = 1e-9;
+
+/// Solves `problem`; see [`LpProblem::solve`].
+pub fn solve(problem: &LpProblem) -> Result<LpSolution, LpError> {
+    Tableau::build(problem).and_then(|mut t| t.run(problem))
+}
+
+struct Tableau {
+    /// rows × cols coefficient matrix; last column is the RHS.
+    a: Vec<Vec<f64>>,
+    /// Basis variable of each row.
+    basis: Vec<usize>,
+    rows: usize,
+    cols: usize, // total structural+slack+artificial variables
+    artificial_start: usize,
+    num_vars: usize,
+}
+
+impl Tableau {
+    fn build(p: &LpProblem) -> Result<Self, LpError> {
+        // Materialize constraints: general rows + upper-bound rows.
+        let mut rows_data: Vec<(Vec<f64>, Relation, f64)> = Vec::new();
+        for c in &p.constraints {
+            let mut dense = vec![0.0; p.num_vars];
+            for &(v, coef) in &c.terms {
+                dense[v] += coef;
+            }
+            rows_data.push((dense, c.relation, c.rhs));
+        }
+        for (v, ub) in p.upper_bounds.iter().enumerate() {
+            if let Some(b) = ub {
+                let mut dense = vec![0.0; p.num_vars];
+                dense[v] = 1.0;
+                rows_data.push((dense, Relation::Le, *b));
+            }
+        }
+        // Normalize to non-negative RHS.
+        for (dense, rel, rhs) in &mut rows_data {
+            if *rhs < 0.0 {
+                for c in dense.iter_mut() {
+                    *c = -*c;
+                }
+                *rhs = -*rhs;
+                *rel = match *rel {
+                    Relation::Le => Relation::Ge,
+                    Relation::Ge => Relation::Le,
+                    Relation::Eq => Relation::Eq,
+                };
+            }
+        }
+        let m = rows_data.len();
+        let n = p.num_vars;
+        // Count extra columns.
+        let mut num_slack = 0;
+        let mut num_art = 0;
+        for (_, rel, _) in &rows_data {
+            match rel {
+                Relation::Le => num_slack += 1,
+                Relation::Ge => {
+                    num_slack += 1;
+                    num_art += 1;
+                }
+                Relation::Eq => num_art += 1,
+            }
+        }
+        let artificial_start = n + num_slack;
+        let cols = n + num_slack + num_art;
+        let mut a = vec![vec![0.0; cols + 1]; m];
+        let mut basis = vec![0usize; m];
+        let mut slack_idx = n;
+        let mut art_idx = artificial_start;
+        for (r, (dense, rel, rhs)) in rows_data.iter().enumerate() {
+            a[r][..n].copy_from_slice(dense);
+            a[r][cols] = *rhs;
+            match rel {
+                Relation::Le => {
+                    a[r][slack_idx] = 1.0;
+                    basis[r] = slack_idx;
+                    slack_idx += 1;
+                }
+                Relation::Ge => {
+                    a[r][slack_idx] = -1.0;
+                    slack_idx += 1;
+                    a[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+                Relation::Eq => {
+                    a[r][art_idx] = 1.0;
+                    basis[r] = art_idx;
+                    art_idx += 1;
+                }
+            }
+        }
+        Ok(Self {
+            a,
+            basis,
+            rows: m,
+            cols,
+            artificial_start,
+            num_vars: n,
+        })
+    }
+
+    fn run(&mut self, p: &LpProblem) -> Result<LpSolution, LpError> {
+        // Phase 1: minimize sum of artificials (as maximize -Σ art).
+        if self.artificial_start < self.cols {
+            let mut obj = vec![0.0; self.cols];
+            for c in obj.iter_mut().skip(self.artificial_start) {
+                *c = -1.0;
+            }
+            let val = self.optimize(&obj)?;
+            if val < -1e-7 {
+                return Err(LpError::Infeasible);
+            }
+            self.drive_out_artificials();
+        }
+        // Phase 2: the real objective, as maximization.
+        let mut obj = vec![0.0; self.cols];
+        let sign = match p.direction {
+            Objective::Maximize => 1.0,
+            Objective::Minimize => -1.0,
+        };
+        for (v, &c) in p.objective.iter().enumerate() {
+            obj[v] = sign * c;
+        }
+        // Artificials must stay out: forbid them by a strongly negative cost.
+        let val = self.optimize(&obj)?;
+        let mut values = vec![0.0; self.num_vars];
+        for (r, &b) in self.basis.iter().enumerate() {
+            if b < self.num_vars {
+                values[b] = self.a[r][self.cols];
+            }
+        }
+        Ok(LpSolution {
+            objective: sign * val,
+            values,
+        })
+    }
+
+    /// Maximizes `obj·x` from the current basic feasible point; returns the
+    /// optimal value. Artificial columns are never allowed to (re-)enter.
+    fn optimize(&mut self, obj: &[f64]) -> Result<f64, LpError> {
+        // Reduced-cost row maintained explicitly.
+        let cols = self.cols;
+        let mut z = vec![0.0; cols + 1];
+        // z_j = c_B · B^-1 A_j - c_j ; start from scratch.
+        for j in 0..=cols {
+            let mut acc = 0.0;
+            for r in 0..self.rows {
+                acc += obj[self.basis[r]] * self.a[r][j];
+            }
+            acc -= if j < cols { obj[j] } else { 0.0 };
+            z[j] = acc;
+        }
+        let max_iters = 200 * (self.rows + cols).max(50);
+        let mut degenerate_streak = 0usize;
+        for _ in 0..max_iters {
+            // Entering column: most negative reduced cost (Dantzig), or
+            // Bland's first-negative after degeneracy.
+            let bland = degenerate_streak > self.rows + 10;
+            let mut enter: Option<usize> = None;
+            let mut best = -EPS;
+            for (j, &zj) in z.iter().enumerate().take(cols) {
+                if j >= self.artificial_start && obj[j] == 0.0 {
+                    // Phase 2: artificials are not eligible.
+                    continue;
+                }
+                if zj < best {
+                    enter = Some(j);
+                    if bland {
+                        break;
+                    }
+                    best = zj;
+                }
+            }
+            let Some(e) = enter else {
+                // Optimal.
+                let mut val = 0.0;
+                for r in 0..self.rows {
+                    val += obj[self.basis[r]] * self.a[r][cols];
+                }
+                return Ok(val);
+            };
+            // Ratio test.
+            let mut leave: Option<usize> = None;
+            let mut best_ratio = f64::INFINITY;
+            for r in 0..self.rows {
+                let coef = self.a[r][e];
+                if coef > EPS {
+                    let ratio = self.a[r][cols] / coef;
+                    if ratio < best_ratio - EPS
+                        || (bland
+                            && (ratio - best_ratio).abs() <= EPS
+                            && leave.is_some_and(|l| self.basis[r] < self.basis[l]))
+                    {
+                        best_ratio = ratio;
+                        leave = Some(r);
+                    }
+                }
+            }
+            let Some(l) = leave else {
+                return Err(LpError::Unbounded);
+            };
+            if best_ratio <= EPS {
+                degenerate_streak += 1;
+            } else {
+                degenerate_streak = 0;
+            }
+            self.pivot(l, e, &mut z, obj);
+        }
+        Err(LpError::IterationLimit)
+    }
+
+    fn pivot(&mut self, row: usize, col: usize, z: &mut [f64], obj: &[f64]) {
+        let cols = self.cols;
+        let pv = self.a[row][col];
+        debug_assert!(pv.abs() > EPS, "pivot on near-zero element");
+        for j in 0..=cols {
+            self.a[row][j] /= pv;
+        }
+        for r in 0..self.rows {
+            if r != row {
+                let f = self.a[r][col];
+                if f.abs() > EPS {
+                    for j in 0..=cols {
+                        self.a[r][j] -= f * self.a[row][j];
+                    }
+                }
+            }
+        }
+        let zf = z[col];
+        if zf.abs() > EPS {
+            for j in 0..=cols {
+                z[j] -= zf * self.a[row][j];
+            }
+        }
+        self.basis[row] = col;
+        // Recompute the entering column's reduced cost exactly (should be 0).
+        z[col] = 0.0;
+        let _ = obj;
+    }
+
+    /// After phase 1, pivot remaining (zero-valued) artificial basis
+    /// variables out where possible so phase 2 starts clean.
+    fn drive_out_artificials(&mut self) {
+        for r in 0..self.rows {
+            if self.basis[r] >= self.artificial_start {
+                // Find a structural/slack column with nonzero coefficient.
+                if let Some(j) = (0..self.artificial_start).find(|&j| self.a[r][j].abs() > 1e-7) {
+                    let mut z = vec![0.0; self.cols + 1];
+                    let obj = vec![0.0; self.cols];
+                    self.pivot(r, j, &mut z, &obj);
+                }
+                // Otherwise the row is redundant (all-zero): harmless.
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::{LpProblem, Relation};
+
+    fn approx(a: f64, b: f64) {
+        assert!((a - b).abs() < 1e-7, "{a} != {b}");
+    }
+
+    #[test]
+    fn textbook_max() {
+        // max 3x + 5y, x <= 4, 2y <= 12, 3x + 2y <= 18 -> 36 at (2, 6)
+        let mut p = LpProblem::new(2);
+        p.maximize();
+        p.set_objective_coeff(0, 3.0).set_objective_coeff(1, 5.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 4.0);
+        p.add_constraint(vec![(1, 2.0)], Relation::Le, 12.0);
+        p.add_constraint(vec![(0, 3.0), (1, 2.0)], Relation::Le, 18.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 36.0);
+        approx(s.values[0], 2.0);
+        approx(s.values[1], 6.0);
+    }
+
+    #[test]
+    fn minimize_with_ge() {
+        // min 2x + 3y s.t. x + y >= 4, x >= 1 -> 2*4? best at y=0,x=4 -> 8
+        let mut p = LpProblem::new(2);
+        p.set_objective_coeff(0, 2.0).set_objective_coeff(1, 3.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Ge, 4.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 1.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 8.0);
+        approx(s.values[0], 4.0);
+    }
+
+    #[test]
+    fn equality_constraint() {
+        // min x + y s.t. x + y = 5, x <= 2 -> 5 (e.g. x=2,y=3)
+        let mut p = LpProblem::new(2);
+        p.set_objective_coeff(0, 1.0).set_objective_coeff(1, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Eq, 5.0);
+        p.set_upper_bound(0, 2.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 5.0);
+        approx(s.values[0] + s.values[1], 5.0);
+        assert!(s.values[0] <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn detects_infeasible() {
+        let mut p = LpProblem::new(1);
+        p.add_constraint(vec![(0, 1.0)], Relation::Ge, 5.0);
+        p.set_upper_bound(0, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Infeasible);
+    }
+
+    #[test]
+    fn detects_unbounded() {
+        let mut p = LpProblem::new(1);
+        p.maximize();
+        p.set_objective_coeff(0, 1.0);
+        assert_eq!(p.solve().unwrap_err(), LpError::Unbounded);
+    }
+
+    #[test]
+    fn negative_rhs_normalized() {
+        // x - y <= -2  (i.e. y - x >= 2), min y -> with x>=0, min y = 2 at x=0.
+        let mut p = LpProblem::new(2);
+        p.set_objective_coeff(1, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, -1.0)], Relation::Le, -2.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 2.0);
+    }
+
+    #[test]
+    fn min_max_latency_structure() {
+        // The BWP shape: min t s.t. t >= D_j / bw_j with D_j linear in x.
+        // min t ; t - 2x >= 0 ; t - (10 - x) * 0.5 >= 0 ; x <= 10
+        // => t = max(2x, 5 - 0.5x), optimum where equal: x = 2, t = 4.
+        let mut p = LpProblem::new(2); // x0 = t, x1 = x
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, -2.0)], Relation::Ge, 0.0);
+        p.add_constraint(vec![(0, 1.0), (1, 0.5)], Relation::Ge, 5.0);
+        p.set_upper_bound(1, 10.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 4.0);
+        approx(s.values[1], 2.0);
+    }
+
+    #[test]
+    fn degenerate_problem_terminates() {
+        // Classic degeneracy: several redundant constraints through origin.
+        let mut p = LpProblem::new(2);
+        p.maximize();
+        p.set_objective_coeff(0, 1.0).set_objective_coeff(1, 1.0);
+        p.add_constraint(vec![(0, 1.0), (1, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(0, 2.0), (1, 2.0)], Relation::Le, 2.0);
+        p.add_constraint(vec![(0, 1.0)], Relation::Le, 1.0);
+        p.add_constraint(vec![(1, 1.0)], Relation::Le, 1.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 1.0);
+    }
+
+    #[test]
+    fn zero_constraint_problem() {
+        // min 0 with no constraints: trivially solvable at origin.
+        let p = LpProblem::new(3);
+        let s = p.solve().unwrap();
+        approx(s.objective, 0.0);
+        assert_eq!(s.values, vec![0.0; 3]);
+    }
+
+    #[test]
+    fn duplicate_terms_are_summed() {
+        // x + x <= 4 means 2x <= 4.
+        let mut p = LpProblem::new(1);
+        p.maximize();
+        p.set_objective_coeff(0, 1.0);
+        p.add_constraint(vec![(0, 1.0), (0, 1.0)], Relation::Le, 4.0);
+        let s = p.solve().unwrap();
+        approx(s.objective, 2.0);
+    }
+}

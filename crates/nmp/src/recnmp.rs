@@ -1,0 +1,156 @@
+//! RecNMP (Liu et al., ISCA 2020): rank-level NMP with *horizontal* table
+//! partitioning and a per-rank hot-entry cache.
+//!
+//! Whole vectors live in one rank (row-hashed), each rank-buffer PE reduces
+//! locally, and a 1 MiB cache per rank PE (paper §5.1) filters the hottest
+//! entries — the paper's §3.1 notes this helps but cannot cover the hot set
+//! of large models.
+
+use recross_dram::controller::BusScope;
+use recross_dram::DramConfig;
+use recross_workload::model::reduce_trace;
+use recross_workload::Trace;
+
+use crate::accel::{EmbeddingAccelerator, RunReport};
+use crate::cache::LruCache;
+use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
+use crate::layout::TableLayout;
+
+/// RecNMP accelerator model.
+#[derive(Debug)]
+pub struct RecNmp {
+    dram: DramConfig,
+    cache_bytes_per_rank: u64,
+}
+
+impl RecNmp {
+    /// Creates the model with the paper's 1 MiB per-rank PE cache.
+    pub fn new(dram: DramConfig) -> Self {
+        Self {
+            dram,
+            cache_bytes_per_rank: 1024 * 1024,
+        }
+    }
+
+    /// Overrides the per-rank cache size (bytes); 0 disables caching.
+    pub fn with_cache_bytes(mut self, bytes: u64) -> Self {
+        self.cache_bytes_per_rank = bytes;
+        self
+    }
+
+    /// Builds the per-lookup placement plans (public for the
+    /// benchmark harness and custom engine configurations).
+    pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
+        let topo = self.dram.topology;
+        let layout = TableLayout::pack(topo, &trace.tables, 0);
+        let max_vec = trace
+            .tables
+            .iter()
+            .map(|t| t.vector_bytes())
+            .max()
+            .unwrap_or(256);
+        let entries = (self.cache_bytes_per_rank / max_vec.max(1)) as usize;
+        let mut caches: Vec<Option<LruCache<(usize, u64)>>> = (0..topo.ranks)
+            .map(|_| (entries > 0).then(|| LruCache::new(entries)))
+            .collect();
+        let mut plans = Vec::with_capacity(trace.lookups());
+        for (op_idx, op) in trace.iter_ops().enumerate() {
+            for &row in &op.indices {
+                let loc = layout.locate(op.table, row);
+                let rank = loc.addr.rank as usize;
+                let hit = caches[rank]
+                    .as_mut()
+                    .map(|c| c.touch((op.table, row)))
+                    .unwrap_or(false);
+                if hit {
+                    plans.push(LookupPlan {
+                        op: op_idx,
+                        reads: vec![],
+                        cached: true,
+                    });
+                } else {
+                    plans.push(LookupPlan {
+                        op: op_idx,
+                        reads: vec![PlacedRead {
+                            addr: loc.addr,
+                            bursts: loc.bursts,
+                            dest: BusScope::Rank,
+                            salp: false,
+                            auto_precharge: true,
+                            write: false,
+                            node: rank,
+                        }],
+                        cached: false,
+                    });
+                }
+            }
+        }
+        plans
+    }
+}
+
+impl EmbeddingAccelerator for RecNmp {
+    fn name(&self) -> &str {
+        "RecNMP"
+    }
+
+    fn run(&mut self, trace: &Trace) -> RunReport {
+        let plans = self.plans(trace);
+        let cfg = EngineConfig::nmp(
+            "RecNMP",
+            self.dram.clone(),
+            self.dram.topology.ranks as usize,
+        );
+        execute(&cfg, trace, &plans)
+    }
+
+    fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>> {
+        // Rank PEs reduce whole vectors (cached or fetched) in trace order;
+        // numerically identical to the golden order.
+        reduce_trace(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recross_workload::TraceGenerator;
+
+    fn trace() -> Trace {
+        TraceGenerator::criteo_scaled(64, 1000)
+            .batch_size(4)
+            .pooling(20)
+            .generate(9)
+    }
+
+    #[test]
+    fn cache_captures_hot_entries() {
+        let t = trace();
+        let no_cache = RecNmp::new(DramConfig::ddr5_4800())
+            .with_cache_bytes(0)
+            .run(&t);
+        let cached = RecNmp::new(DramConfig::ddr5_4800()).run(&t);
+        assert_eq!(no_cache.cache_hits, 0);
+        assert!(cached.cache_hits > 0, "skewed trace must hit the PE cache");
+        assert!(cached.counters.rd_wr_bits < no_cache.counters.rd_wr_bits);
+        assert!(cached.cycles <= no_cache.cycles);
+    }
+
+    #[test]
+    fn horizontal_partitioning_is_imbalanced() {
+        let t = trace();
+        let r = RecNmp::new(DramConfig::ddr5_4800())
+            .with_cache_bytes(0)
+            .run(&t);
+        // Unlike TensorDIMM, per-op rank loads are skewed.
+        assert!(r.imbalance.mean > 1.0);
+    }
+
+    #[test]
+    fn results_match_golden() {
+        let t = trace();
+        let got = RecNmp::new(DramConfig::ddr5_4800()).compute_results(&t);
+        let want = recross_workload::model::reduce_trace(&t);
+        recross_workload::model::assert_results_close(&got, &want, 1e-6);
+    }
+}

@@ -1,0 +1,237 @@
+//! TRiM (Park et al., MICRO 2021): in-DRAM NMP at bank-group (TRiM-G) or
+//! bank (TRiM-B) level, with hot-entry replication.
+//!
+//! PEs sit inside the DRAM chips next to each bank group / bank; tables
+//! stay contiguously laid out (row index = memory offset, §3.1), so hot
+//! rows scatter across nodes but each hot row pins its node. TRiM
+//! replicates the hottest 0.05 % of entries (paper §5.1) across nodes and
+//! round-robins accesses among the replicas.
+
+use recross_dram::controller::BusScope;
+use recross_dram::DramConfig;
+use recross_workload::model::reduce_trace;
+use recross_workload::Trace;
+
+use crate::accel::{EmbeddingAccelerator, RunReport};
+use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
+use crate::layout::{slot_to_addr, TableLayout};
+use crate::profile::AccessProfile;
+use std::collections::HashMap;
+
+/// Which TRiM variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TrimLevel {
+    /// PEs per bank group (TRiM-G).
+    BankGroup,
+    /// PEs per bank (TRiM-B).
+    Bank,
+}
+
+/// TRiM accelerator model.
+#[derive(Debug)]
+pub struct Trim {
+    dram: DramConfig,
+    level: TrimLevel,
+    /// Fraction of (touched) entries replicated (paper: 0.05 %).
+    replication: f64,
+    /// Replicas per hot entry (one per node, capped here).
+    replicas: u32,
+    profile: Option<AccessProfile>,
+}
+
+impl Trim {
+    /// Creates a TRiM-G model with the paper's 0.05 % replication.
+    pub fn bank_group(dram: DramConfig) -> Self {
+        Self::new(dram, TrimLevel::BankGroup)
+    }
+
+    /// Creates a TRiM-B model with the paper's 0.05 % replication.
+    pub fn bank(dram: DramConfig) -> Self {
+        Self::new(dram, TrimLevel::Bank)
+    }
+
+    fn new(dram: DramConfig, level: TrimLevel) -> Self {
+        Self {
+            dram,
+            level,
+            replication: 0.0005,
+            replicas: 8,
+            profile: None,
+        }
+    }
+
+    /// Supplies the training-phase profile used to pick hot entries.
+    /// Without a profile, no replication happens.
+    pub fn with_profile(mut self, profile: AccessProfile) -> Self {
+        self.profile = Some(profile);
+        self
+    }
+
+    /// Overrides the replicated fraction (0 disables replication).
+    pub fn with_replication(mut self, fraction: f64, replicas: u32) -> Self {
+        assert!((0.0..=1.0).contains(&fraction));
+        assert!(replicas >= 1);
+        self.replication = fraction;
+        self.replicas = replicas;
+        self
+    }
+
+    /// Variant name.
+    fn level_name(&self) -> &'static str {
+        match self.level {
+            TrimLevel::BankGroup => "TRiM-G",
+            TrimLevel::Bank => "TRiM-B",
+        }
+    }
+
+    fn num_nodes(&self) -> usize {
+        let t = &self.dram.topology;
+        match self.level {
+            TrimLevel::BankGroup => (t.ranks * t.bank_groups) as usize,
+            TrimLevel::Bank => t.banks_per_channel() as usize,
+        }
+    }
+
+    fn dest(&self) -> BusScope {
+        match self.level {
+            TrimLevel::BankGroup => BusScope::BankGroup,
+            TrimLevel::Bank => BusScope::Bank,
+        }
+    }
+
+    fn node_of(&self, addr: &recross_dram::PhysAddr) -> usize {
+        let t = &self.dram.topology;
+        match self.level {
+            TrimLevel::BankGroup => addr.flat_bank_group(t) as usize,
+            TrimLevel::Bank => addr.flat_bank(t) as usize,
+        }
+    }
+
+    /// Builds the per-lookup placement plans (public for the
+    /// benchmark harness and custom engine configurations).
+    pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
+        let topo = self.dram.topology;
+        let layout = TableLayout::pack(topo, &trace.tables, 0);
+        // Hot-entry replica directory: (table, row) -> replica slot base.
+        // Replicas live in the slots right after the packed tables, one
+        // DRAM-row-slot stride per replica so copies land on distinct banks.
+        let mut hot: HashMap<(usize, u64), u64> = HashMap::new();
+        if let Some(p) = &self.profile {
+            if self.replication > 0.0 {
+                let k = ((p.distinct_rows() as f64) * self.replication).ceil() as usize;
+                for (i, (t, r, _)) in p.hottest(k).into_iter().enumerate() {
+                    hot.insert((t, r), i as u64);
+                }
+            }
+        }
+        let replica_base = layout.total_slots();
+        let replicas = u64::from(self.replicas);
+        let mut rr_counter = 0u64;
+        let mut plans = Vec::with_capacity(trace.lookups());
+        for (op_idx, op) in trace.iter_ops().enumerate() {
+            let bursts = topo.bursts_for(trace.tables[op.table].vector_bytes()) as u32;
+            for &row in &op.indices {
+                let addr = if let Some(&hot_idx) = hot.get(&(op.table, row)) {
+                    // Round-robin over the entry's replicas.
+                    rr_counter += 1;
+                    let slot = replica_base + hot_idx * replicas + (rr_counter % replicas);
+                    slot_to_addr(&topo, slot, 0)
+                } else {
+                    layout.locate(op.table, row).addr
+                };
+                plans.push(LookupPlan {
+                    op: op_idx,
+                    reads: vec![PlacedRead {
+                        addr,
+                        bursts,
+                        dest: self.dest(),
+                        salp: false,
+                        auto_precharge: true,
+                        write: false,
+                        node: self.node_of(&addr),
+                    }],
+                    cached: false,
+                });
+            }
+        }
+        plans
+    }
+}
+
+impl EmbeddingAccelerator for Trim {
+    fn name(&self) -> &str {
+        self.level_name()
+    }
+
+    fn run(&mut self, trace: &Trace) -> RunReport {
+        let plans = self.plans(trace);
+        let cfg = EngineConfig::nmp(self.level_name(), self.dram.clone(), self.num_nodes());
+        execute(&cfg, trace, &plans)
+    }
+
+    fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>> {
+        // PEs reduce whole vectors in trace order (replicas hold identical
+        // data), numerically identical to the golden order.
+        reduce_trace(trace)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recross_workload::TraceGenerator;
+
+    fn trace() -> Trace {
+        TraceGenerator::criteo_scaled(64, 1000)
+            .batch_size(4)
+            .pooling(20)
+            .generate(4)
+    }
+
+    #[test]
+    fn bank_level_has_more_nodes() {
+        let g = Trim::bank_group(DramConfig::ddr5_4800());
+        let b = Trim::bank(DramConfig::ddr5_4800());
+        assert_eq!(g.num_nodes(), 16);
+        assert_eq!(b.num_nodes(), 64);
+    }
+
+    #[test]
+    fn runs_both_levels() {
+        let t = trace();
+        let rg = Trim::bank_group(DramConfig::ddr5_4800()).run(&t);
+        let rb = Trim::bank(DramConfig::ddr5_4800()).run(&t);
+        assert_eq!(rg.lookups, t.lookups() as u64);
+        assert_eq!(rb.lookups, t.lookups() as u64);
+        // The paper's §3.2: bank-level NMP yields only modest gains over
+        // bank-group level because of serial same-bank operation.
+        assert!(rb.cycles <= rg.cycles);
+    }
+
+    #[test]
+    fn replication_spreads_hot_load() {
+        let t = trace();
+        let profile = AccessProfile::from_trace(&t);
+        let plain = Trim::bank(DramConfig::ddr5_4800())
+            .with_replication(0.0, 1)
+            .run(&t);
+        let replicated = Trim::bank(DramConfig::ddr5_4800())
+            .with_profile(profile)
+            .with_replication(0.01, 8)
+            .run(&t);
+        assert!(
+            replicated.imbalance.mean < plain.imbalance.mean,
+            "replication must reduce imbalance: {} vs {}",
+            replicated.imbalance.mean,
+            plain.imbalance.mean
+        );
+    }
+
+    #[test]
+    fn results_match_golden() {
+        let t = trace();
+        let got = Trim::bank_group(DramConfig::ddr5_4800()).compute_results(&t);
+        let want = recross_workload::model::reduce_trace(&t);
+        recross_workload::model::assert_results_close(&got, &want, 1e-6);
+    }
+}

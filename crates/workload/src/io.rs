@@ -1,0 +1,240 @@
+//! Trace import/export in a plain-text line format.
+//!
+//! Lets users bring real production traces (or archive generated ones for
+//! exact cross-machine reproduction) without a serialization dependency.
+//! The format is line-oriented and self-describing:
+//!
+//! ```text
+//! # recross-trace v1
+//! table <rows> <dim> <dtype_bytes>        (once per table, in order)
+//! batch                                   (starts a new batch)
+//! op <table> <idx:weight> <idx:weight> …  (one embedding op)
+//! ```
+//!
+//! Weights use `{:e}` float formatting and round-trip exactly through
+//! `f32::to_bits` precision.
+
+use std::io::{BufRead, Write};
+
+use crate::table::EmbeddingTableSpec;
+use crate::trace::{Batch, EmbeddingOp, Trace};
+
+/// Magic header of the format.
+pub const HEADER: &str = "# recross-trace v1";
+
+/// Errors parsing a trace file.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseTraceError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A malformed line, with its 1-based line number.
+    BadLine(usize),
+    /// An op references an undeclared table, with the line number.
+    UnknownTable(usize),
+    /// A row index exceeds its table's rows, with the line number.
+    RowOutOfRange(usize),
+    /// Underlying I/O failure (message).
+    Io(String),
+}
+
+impl core::fmt::Display for ParseTraceError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        match self {
+            ParseTraceError::BadHeader => write!(f, "missing `{HEADER}` header"),
+            ParseTraceError::BadLine(n) => write!(f, "malformed line {n}"),
+            ParseTraceError::UnknownTable(n) => {
+                write!(f, "line {n}: op references an undeclared table")
+            }
+            ParseTraceError::RowOutOfRange(n) => {
+                write!(f, "line {n}: row index out of table range")
+            }
+            ParseTraceError::Io(e) => write!(f, "i/o error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseTraceError {}
+
+/// Writes `trace` to `w` in the v1 text format.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn write_trace<W: Write>(trace: &Trace, mut w: W) -> std::io::Result<()> {
+    writeln!(w, "{HEADER}")?;
+    for t in &trace.tables {
+        writeln!(w, "table {} {} {}", t.rows, t.dim, t.dtype_bytes)?;
+    }
+    for batch in &trace.batches {
+        writeln!(w, "batch")?;
+        for op in &batch.ops {
+            write!(w, "op {}", op.table)?;
+            for (&idx, &weight) in op.indices.iter().zip(&op.weights) {
+                // Hex bits keep the f32 exact.
+                write!(w, " {}:{:08x}", idx, weight.to_bits())?;
+            }
+            writeln!(w)?;
+        }
+    }
+    Ok(())
+}
+
+/// Reads a trace from `r`.
+///
+/// # Errors
+///
+/// Returns [`ParseTraceError`] on malformed input.
+pub fn read_trace<R: BufRead>(r: R) -> Result<Trace, ParseTraceError> {
+    let mut lines = r.lines().enumerate();
+    let (_, first) = lines.next().ok_or(ParseTraceError::BadHeader)?;
+    let first = first.map_err(|e| ParseTraceError::Io(e.to_string()))?;
+    if first.trim() != HEADER {
+        return Err(ParseTraceError::BadHeader);
+    }
+    let mut tables: Vec<EmbeddingTableSpec> = Vec::new();
+    let mut batches: Vec<Batch> = Vec::new();
+    for (i, line) in lines {
+        let n = i + 1;
+        let line = line.map_err(|e| ParseTraceError::Io(e.to_string()))?;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("table") => {
+                let rows: u64 = parse(parts.next(), n)?;
+                let dim: u32 = parse(parts.next(), n)?;
+                let dtype: u32 = parse(parts.next(), n)?;
+                if rows == 0 || dim == 0 || dtype == 0 {
+                    return Err(ParseTraceError::BadLine(n));
+                }
+                tables.push(EmbeddingTableSpec {
+                    rows,
+                    dim,
+                    dtype_bytes: dtype,
+                });
+            }
+            Some("batch") => batches.push(Batch::default()),
+            Some("op") => {
+                let table: usize = parse(parts.next(), n)?;
+                if table >= tables.len() {
+                    return Err(ParseTraceError::UnknownTable(n));
+                }
+                let mut indices = Vec::new();
+                let mut weights = Vec::new();
+                for tok in parts {
+                    let (idx, bits) = tok.split_once(':').ok_or(ParseTraceError::BadLine(n))?;
+                    let idx: u64 = idx.parse().map_err(|_| ParseTraceError::BadLine(n))?;
+                    if idx >= tables[table].rows {
+                        return Err(ParseTraceError::RowOutOfRange(n));
+                    }
+                    let bits =
+                        u32::from_str_radix(bits, 16).map_err(|_| ParseTraceError::BadLine(n))?;
+                    indices.push(idx);
+                    weights.push(f32::from_bits(bits));
+                }
+                if batches.is_empty() {
+                    batches.push(Batch::default());
+                }
+                batches
+                    .last_mut()
+                    .expect("just ensured non-empty")
+                    .ops
+                    .push(EmbeddingOp {
+                        table,
+                        indices,
+                        weights,
+                    });
+            }
+            _ => return Err(ParseTraceError::BadLine(n)),
+        }
+    }
+    Ok(Trace { tables, batches })
+}
+
+fn parse<T: std::str::FromStr>(tok: Option<&str>, line: usize) -> Result<T, ParseTraceError> {
+    tok.ok_or(ParseTraceError::BadLine(line))?
+        .parse()
+        .map_err(|_| ParseTraceError::BadLine(line))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGenerator;
+
+    #[test]
+    fn roundtrip_exact() {
+        let trace = TraceGenerator::criteo_scaled(16, 10_000)
+            .batch_size(3)
+            .pooling(5)
+            .batches(2)
+            .generate(9);
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).unwrap();
+        let back = read_trace(buf.as_slice()).unwrap();
+        assert_eq!(back.tables, trace.tables);
+        assert_eq!(back.batches.len(), trace.batches.len());
+        for (a, b) in trace.iter_ops().zip(back.iter_ops()) {
+            assert_eq!(a.table, b.table);
+            assert_eq!(a.indices, b.indices);
+            // Bit-exact weights.
+            for (x, y) in a.weights.iter().zip(&b.weights) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn rejects_missing_header() {
+        assert_eq!(
+            read_trace("table 10 4 4\n".as_bytes()).unwrap_err(),
+            ParseTraceError::BadHeader
+        );
+    }
+
+    #[test]
+    fn rejects_unknown_table() {
+        let text = format!("{HEADER}\ntable 10 4 4\nbatch\nop 3 1:3f800000\n");
+        assert_eq!(
+            read_trace(text.as_bytes()).unwrap_err(),
+            ParseTraceError::UnknownTable(4)
+        );
+    }
+
+    #[test]
+    fn rejects_row_out_of_range() {
+        let text = format!("{HEADER}\ntable 10 4 4\nbatch\nop 0 10:3f800000\n");
+        assert_eq!(
+            read_trace(text.as_bytes()).unwrap_err(),
+            ParseTraceError::RowOutOfRange(4)
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_pair() {
+        let text = format!("{HEADER}\ntable 10 4 4\nbatch\nop 0 1=zz\n");
+        assert!(matches!(
+            read_trace(text.as_bytes()).unwrap_err(),
+            ParseTraceError::BadLine(4)
+        ));
+    }
+
+    #[test]
+    fn tolerates_comments_and_blank_lines() {
+        let text =
+            format!("{HEADER}\n# a comment\n\ntable 10 4 4\nbatch\nop 0 1:3f800000 2:40000000\n");
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.ops(), 1);
+        let op = t.iter_ops().next().unwrap();
+        assert_eq!(op.weights, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn op_before_batch_opens_one() {
+        let text = format!("{HEADER}\ntable 10 4 4\nop 0 1:3f800000\n");
+        let t = read_trace(text.as_bytes()).unwrap();
+        assert_eq!(t.batches.len(), 1);
+    }
+}

@@ -1,0 +1,210 @@
+//! Functional reference model of the embedding layer (and a minimal DLRM
+//! around it).
+//!
+//! Embedding values are *synthesized* deterministically from
+//! `(table, row, dim)` rather than materialized — production tables reach
+//! hundreds of GB (paper §2.1), far beyond what tests should allocate. Every
+//! accelerator model computes its reductions through the same value function,
+//! so timing-model bugs that corrupt which rows are gathered are caught by
+//! comparing against this golden model.
+
+use crate::trace::{EmbeddingOp, Trace};
+
+/// Deterministic synthetic embedding value for `(table, row, dim)`.
+///
+/// Values are in `(-1, 1)` and well spread, so weighted sums are sensitive to
+/// any wrong row/any wrong table.
+pub fn embedding_value(table: usize, row: u64, dim: u32) -> f32 {
+    let mut z = (table as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add(row.wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add(u64::from(dim).wrapping_mul(0x94D0_49BB_1331_11EB));
+    z ^= z >> 30;
+    z = z.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z ^= z >> 31;
+    // Map the top 24 bits to (-1, 1).
+    ((z >> 40) as f32 / (1u64 << 23) as f32) - 1.0
+}
+
+/// Computes the golden weighted-sum reduction for one op.
+pub fn reduce_op(op: &EmbeddingOp, dim: u32) -> Vec<f32> {
+    let mut out = vec![0.0f32; dim as usize];
+    for (&row, &w) in op.indices.iter().zip(&op.weights) {
+        for (d, slot) in out.iter_mut().enumerate() {
+            *slot += w * embedding_value(op.table, row, d as u32);
+        }
+    }
+    out
+}
+
+/// Computes golden results for every op of a trace, in issue order.
+pub fn reduce_trace(trace: &Trace) -> Vec<Vec<f32>> {
+    trace
+        .iter_ops()
+        .map(|op| reduce_op(op, trace.tables[op.table].dim))
+        .collect()
+}
+
+/// Asserts two reduction outputs are equal up to FP reassociation tolerance.
+///
+/// Returns the maximum absolute elementwise deviation.
+///
+/// # Panics
+///
+/// Panics if shapes mismatch or any element deviates more than `tol`.
+pub fn assert_results_close(a: &[Vec<f32>], b: &[Vec<f32>], tol: f32) -> f32 {
+    assert_eq!(a.len(), b.len(), "op count mismatch");
+    let mut max_dev = 0.0f32;
+    for (i, (x, y)) in a.iter().zip(b).enumerate() {
+        assert_eq!(x.len(), y.len(), "op {i}: dim mismatch");
+        for (d, (&xv, &yv)) in x.iter().zip(y).enumerate() {
+            let dev = (xv - yv).abs();
+            assert!(
+                dev <= tol,
+                "op {i} dim {d}: {xv} vs {yv} (|Δ| = {dev} > {tol})"
+            );
+            max_dev = max_dev.max(dev);
+        }
+    }
+    max_dev
+}
+
+/// Shape of the dense MLP parts of DLRM (paper Figure 1), used by the
+/// end-to-end inference example. The embedding layer is the paper's focus;
+/// the MLPs are modelled functionally for completeness.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MlpSpec {
+    /// Layer widths, first entry = input width.
+    pub widths: Vec<u32>,
+}
+
+impl MlpSpec {
+    /// Facebook DLRM reference bottom MLP (dense features → dim).
+    pub fn dlrm_bottom(dense_in: u32, dim: u32) -> Self {
+        Self {
+            widths: vec![dense_in, 512, 256, dim],
+        }
+    }
+
+    /// Facebook DLRM reference top MLP (interactions → CTR).
+    pub fn dlrm_top(interaction_in: u32) -> Self {
+        Self {
+            widths: vec![interaction_in, 512, 256, 1],
+        }
+    }
+
+    /// Multiply-accumulate count of one forward pass.
+    pub fn macs(&self) -> u64 {
+        self.widths
+            .windows(2)
+            .map(|w| u64::from(w[0]) * u64::from(w[1]))
+            .sum()
+    }
+
+    /// Functional forward pass with deterministic synthetic weights.
+    pub fn forward(&self, input: &[f32]) -> Vec<f32> {
+        assert_eq!(input.len(), self.widths[0] as usize, "input width");
+        let mut act = input.to_vec();
+        for (layer, w) in self.widths.windows(2).enumerate() {
+            let (n_in, n_out) = (w[0] as usize, w[1] as usize);
+            let mut next = vec![0.0f32; n_out];
+            for (o, slot) in next.iter_mut().enumerate() {
+                let mut acc = 0.0f32;
+                for (i, &x) in act.iter().enumerate().take(n_in) {
+                    acc += x * synth_weight(layer, i, o);
+                }
+                *slot = acc.max(0.0); // ReLU
+            }
+            act = next;
+        }
+        act
+    }
+}
+
+fn synth_weight(layer: usize, i: usize, o: usize) -> f32 {
+    let v = embedding_value(layer + 1000, i as u64, o as u32);
+    v * 0.05 // keep activations bounded through deep stacks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGenerator;
+
+    #[test]
+    fn values_deterministic_and_bounded() {
+        for t in 0..5 {
+            for row in [0u64, 1, 12345] {
+                for d in 0..8 {
+                    let v = embedding_value(t, row, d);
+                    assert_eq!(v, embedding_value(t, row, d));
+                    assert!((-1.0..=1.0).contains(&v));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn values_differ_across_coordinates() {
+        let base = embedding_value(0, 0, 0);
+        assert_ne!(base, embedding_value(1, 0, 0));
+        assert_ne!(base, embedding_value(0, 1, 0));
+        assert_ne!(base, embedding_value(0, 0, 1));
+    }
+
+    #[test]
+    fn reduce_op_linear_in_weights() {
+        let op = EmbeddingOp {
+            table: 0,
+            indices: vec![3, 7],
+            weights: vec![2.0, 0.0],
+        };
+        let r = reduce_op(&op, 4);
+        for (d, &v) in r.iter().enumerate() {
+            let expect = 2.0 * embedding_value(0, 3, d as u32);
+            assert!((v - expect).abs() < 1e-6);
+        }
+    }
+
+    use crate::trace::EmbeddingOp;
+
+    #[test]
+    fn reduce_trace_covers_all_ops() {
+        let trace = TraceGenerator::criteo_scaled(8, 10_000)
+            .batch_size(2)
+            .pooling(4)
+            .generate(1);
+        let res = reduce_trace(&trace);
+        assert_eq!(res.len(), trace.ops());
+        assert!(res.iter().all(|r| r.len() == 8));
+    }
+
+    #[test]
+    fn assert_results_close_accepts_reassociation() {
+        let a = vec![vec![1.0f32, 2.0]];
+        let b = vec![vec![1.0f32 + 1e-6, 2.0]];
+        let dev = assert_results_close(&a, &b, 1e-4);
+        assert!(dev > 0.0 && dev < 1e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "op count mismatch")]
+    fn assert_results_close_rejects_shape() {
+        assert_results_close(&[vec![1.0]], &[], 1e-3);
+    }
+
+    #[test]
+    fn mlp_forward_shapes_and_macs() {
+        let mlp = MlpSpec::dlrm_bottom(13, 64);
+        let out = mlp.forward(&vec![0.1; 13]);
+        assert_eq!(out.len(), 64);
+        assert_eq!(mlp.macs(), 13 * 512 + 512 * 256 + 256 * 64);
+        assert!(out.iter().all(|v| *v >= 0.0), "ReLU output non-negative");
+    }
+
+    #[test]
+    #[should_panic(expected = "input width")]
+    fn mlp_rejects_bad_input() {
+        MlpSpec::dlrm_top(8).forward(&[0.0; 3]);
+    }
+}

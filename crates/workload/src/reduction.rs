@@ -1,0 +1,229 @@
+//! Reduction operations of the embedding layer.
+//!
+//! The paper's PEs support "various reduction operations, e.g., summation,
+//! weighted summation, and quantized operation" (§4.1), selected by the
+//! NMP instruction's 3-bit opcode. This module implements each reduction
+//! functionally (the golden semantics every PE model is checked against)
+//! and reports its per-vector arithmetic cost for the energy model.
+
+use crate::model::embedding_value;
+use crate::trace::EmbeddingOp;
+
+/// A reduction operation over gathered embedding vectors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Reduction {
+    /// Plain element-wise summation.
+    Sum,
+    /// Weighted summation (the paper's evaluation default).
+    #[default]
+    WeightedSum,
+    /// Element-wise mean over the gathered vectors.
+    Average,
+    /// Concatenation: no reduction; all vectors stream to the host.
+    Concat,
+    /// Int8-quantized summation: vectors are quantized with a shared scale,
+    /// accumulated in i32, and dequantized once.
+    QuantizedSum,
+}
+
+impl Reduction {
+    /// FP32 additions per gathered vector of dimension `dim`.
+    pub fn adds_per_vector(self, dim: u32) -> u64 {
+        match self {
+            Reduction::Sum | Reduction::WeightedSum | Reduction::Average => u64::from(dim),
+            Reduction::Concat => 0,
+            // Integer adds are ~4× cheaper than FP32; account them as a
+            // quarter-cost FP add for the Table 2 energy model.
+            Reduction::QuantizedSum => u64::from(dim).div_ceil(4),
+        }
+    }
+
+    /// FP32 multiplications per gathered vector of dimension `dim`.
+    pub fn muls_per_vector(self, dim: u32) -> u64 {
+        match self {
+            Reduction::WeightedSum => u64::from(dim),
+            Reduction::Average | Reduction::Sum | Reduction::Concat => 0,
+            // One dequantization multiply per output element, amortized
+            // over the pooled vectors — charge one per vector for safety.
+            Reduction::QuantizedSum => 1,
+        }
+    }
+
+    /// Bytes returned to the host per op for vectors of `dim` dims and
+    /// `pooling` gathered vectors.
+    pub fn result_bytes(self, dim: u32, pooling: usize) -> u64 {
+        match self {
+            Reduction::Concat => u64::from(dim) * 4 * pooling as u64,
+            _ => u64::from(dim) * 4,
+        }
+    }
+
+    /// Applies the reduction to one op's gathered vectors; returns the
+    /// result in f32 (Concat returns the concatenation).
+    pub fn apply(self, op: &EmbeddingOp, dim: u32) -> Vec<f32> {
+        let d = dim as usize;
+        match self {
+            Reduction::Sum => {
+                let mut out = vec![0.0f32; d];
+                for &row in &op.indices {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot += embedding_value(op.table, row, i as u32);
+                    }
+                }
+                out
+            }
+            Reduction::WeightedSum => {
+                let mut out = vec![0.0f32; d];
+                for (&row, &w) in op.indices.iter().zip(&op.weights) {
+                    for (i, slot) in out.iter_mut().enumerate() {
+                        *slot += w * embedding_value(op.table, row, i as u32);
+                    }
+                }
+                out
+            }
+            Reduction::Average => {
+                let mut out = Reduction::Sum.apply(op, dim);
+                let n = op.indices.len().max(1) as f32;
+                for v in &mut out {
+                    *v /= n;
+                }
+                out
+            }
+            Reduction::Concat => {
+                let mut out = Vec::with_capacity(d * op.indices.len());
+                for &row in &op.indices {
+                    for i in 0..dim {
+                        out.push(embedding_value(op.table, row, i));
+                    }
+                }
+                out
+            }
+            Reduction::QuantizedSum => {
+                // Shared symmetric int8 quantization: scale = max|x| / 127.
+                let mut max_abs = 0.0f32;
+                for &row in &op.indices {
+                    for i in 0..dim {
+                        max_abs = max_abs.max(embedding_value(op.table, row, i).abs());
+                    }
+                }
+                let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+                let mut acc = vec![0i32; d];
+                for &row in &op.indices {
+                    for (i, slot) in acc.iter_mut().enumerate() {
+                        let q = (embedding_value(op.table, row, i as u32) / scale)
+                            .round()
+                            .clamp(-127.0, 127.0) as i32;
+                        *slot += q;
+                    }
+                }
+                acc.into_iter().map(|q| q as f32 * scale).collect()
+            }
+        }
+    }
+
+    /// Worst-case absolute quantization error bound of [`Reduction::apply`]
+    /// for `QuantizedSum` relative to the exact `Sum`: `pooling × scale/2`.
+    pub fn quantization_error_bound(op: &EmbeddingOp, dim: u32) -> f32 {
+        let mut max_abs = 0.0f32;
+        for &row in &op.indices {
+            for i in 0..dim {
+                max_abs = max_abs.max(embedding_value(op.table, row, i).abs());
+            }
+        }
+        let scale = if max_abs == 0.0 { 1.0 } else { max_abs / 127.0 };
+        op.indices.len() as f32 * scale * 0.5
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn op() -> EmbeddingOp {
+        EmbeddingOp {
+            table: 1,
+            indices: vec![3, 99, 42, 7],
+            weights: vec![1.0, 0.5, 2.0, 1.5],
+        }
+    }
+
+    #[test]
+    fn sum_is_unweighted() {
+        let o = op();
+        let sum = Reduction::Sum.apply(&o, 8);
+        let mut expect = vec![0.0f32; 8];
+        for &row in &o.indices {
+            for (i, e) in expect.iter_mut().enumerate() {
+                *e += embedding_value(o.table, row, i as u32);
+            }
+        }
+        assert_eq!(sum, expect);
+    }
+
+    #[test]
+    fn average_is_sum_over_n() {
+        let o = op();
+        let sum = Reduction::Sum.apply(&o, 4);
+        let avg = Reduction::Average.apply(&o, 4);
+        for (s, a) in sum.iter().zip(&avg) {
+            assert!((s / 4.0 - a).abs() < 1e-7);
+        }
+    }
+
+    #[test]
+    fn weighted_matches_golden_model() {
+        let o = op();
+        let got = Reduction::WeightedSum.apply(&o, 16);
+        let want = crate::model::reduce_op(&o, 16);
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn concat_preserves_every_vector() {
+        let o = op();
+        let cat = Reduction::Concat.apply(&o, 4);
+        assert_eq!(cat.len(), 4 * 4);
+        assert_eq!(cat[0], embedding_value(o.table, o.indices[0], 0));
+        assert_eq!(cat[4], embedding_value(o.table, o.indices[1], 0));
+    }
+
+    #[test]
+    fn quantized_close_to_exact_sum() {
+        let o = op();
+        let exact = Reduction::Sum.apply(&o, 32);
+        let quant = Reduction::QuantizedSum.apply(&o, 32);
+        let bound = Reduction::quantization_error_bound(&o, 32);
+        for (e, q) in exact.iter().zip(&quant) {
+            assert!(
+                (e - q).abs() <= bound,
+                "quantized {q} vs exact {e} (bound {bound})"
+            );
+        }
+    }
+
+    #[test]
+    fn arithmetic_costs() {
+        assert_eq!(Reduction::WeightedSum.adds_per_vector(64), 64);
+        assert_eq!(Reduction::WeightedSum.muls_per_vector(64), 64);
+        assert_eq!(Reduction::Sum.muls_per_vector(64), 0);
+        assert_eq!(Reduction::Concat.adds_per_vector(64), 0);
+        assert_eq!(Reduction::QuantizedSum.adds_per_vector(64), 16);
+    }
+
+    #[test]
+    fn result_sizes() {
+        assert_eq!(Reduction::WeightedSum.result_bytes(64, 80), 256);
+        assert_eq!(Reduction::Concat.result_bytes(64, 80), 256 * 80);
+    }
+
+    #[test]
+    fn empty_op_is_safe() {
+        let o = EmbeddingOp {
+            table: 0,
+            indices: vec![],
+            weights: vec![],
+        };
+        assert_eq!(Reduction::Average.apply(&o, 4), vec![0.0; 4]);
+        assert_eq!(Reduction::QuantizedSum.apply(&o, 4), vec![0.0; 4]);
+    }
+}

@@ -1,0 +1,250 @@
+//! Workload statistics: load imbalance and cumulative-access curves.
+//!
+//! The *load imbalance ratio* (paper Figures 4 and 13) for one embedding
+//! operation is the largest number of lookups landing on any single memory
+//! node divided by the ideal per-node share (total lookups / node count).
+//! A ratio of 1 is perfectly balanced; large ratios mean one node serializes
+//! the whole operation.
+
+/// Load-imbalance ratio of one operation given per-node lookup counts.
+///
+/// Returns 0 for an empty operation (no lookups anywhere).
+///
+/// # Examples
+///
+/// ```
+/// use recross_workload::stats::imbalance_ratio;
+///
+/// // 8 lookups over 4 nodes, one node takes 5 of them:
+/// assert_eq!(imbalance_ratio(&[5, 1, 1, 1]), 2.5);
+/// // perfectly balanced:
+/// assert_eq!(imbalance_ratio(&[2, 2, 2, 2]), 1.0);
+/// ```
+pub fn imbalance_ratio(node_loads: &[u64]) -> f64 {
+    if node_loads.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = node_loads.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let max = *node_loads.iter().max().expect("non-empty") as f64;
+    let ideal = total as f64 / node_loads.len() as f64;
+    max / ideal
+}
+
+/// Summary of a set of per-operation imbalance ratios.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct ImbalanceSummary {
+    /// Mean ratio across operations.
+    pub mean: f64,
+    /// Median ratio.
+    pub p50: f64,
+    /// 90th percentile ratio.
+    pub p90: f64,
+    /// Maximum observed ratio.
+    pub max: f64,
+}
+
+impl ImbalanceSummary {
+    /// Summarizes a list of ratios. Returns the default (all zeros) when
+    /// `ratios` is empty.
+    pub fn from_ratios(ratios: &[f64]) -> Self {
+        if ratios.is_empty() {
+            return Self::default();
+        }
+        let mut sorted: Vec<f64> = ratios.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("no NaN ratios"));
+        let pick = |q: f64| {
+            let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+            sorted[idx]
+        };
+        Self {
+            mean: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            p50: pick(0.5),
+            p90: pick(0.9),
+            max: *sorted.last().expect("non-empty"),
+        }
+    }
+}
+
+impl core::fmt::Display for ImbalanceSummary {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "mean {:.2} / p50 {:.2} / p90 {:.2} / max {:.2}",
+            self.mean, self.p50, self.p90, self.max
+        )
+    }
+}
+
+/// Gini coefficient of a set of access counts: 0 = perfectly uniform,
+/// → 1 = maximally concentrated. A standard skew statistic for embedding
+/// popularity (long-tail ⇒ high Gini).
+///
+/// # Examples
+///
+/// ```
+/// use recross_workload::stats::gini;
+///
+/// assert!(gini(&[1, 1, 1, 1]) < 1e-9);
+/// assert!(gini(&[100, 1, 1, 1]) > 0.5);
+/// ```
+pub fn gini(counts: &[u64]) -> f64 {
+    if counts.is_empty() {
+        return 0.0;
+    }
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    let mut sorted: Vec<u64> = counts.to_vec();
+    sorted.sort_unstable();
+    let n = sorted.len() as f64;
+    let weighted: f64 = sorted
+        .iter()
+        .enumerate()
+        .map(|(i, &c)| (i as f64 + 1.0) * c as f64)
+        .sum();
+    (2.0 * weighted) / (n * total as f64) - (n + 1.0) / n
+}
+
+/// Shannon entropy (bits) of the normalized access distribution; the
+/// maximum is `log2(n)` for a uniform distribution.
+pub fn entropy_bits(counts: &[u64]) -> f64 {
+    let total: u64 = counts.iter().sum();
+    if total == 0 {
+        return 0.0;
+    }
+    counts
+        .iter()
+        .filter(|&&c| c > 0)
+        .map(|&c| {
+            let p = c as f64 / total as f64;
+            -p * p.log2()
+        })
+        .sum()
+}
+
+/// Normalized entropy in `[0, 1]`: `entropy / log2(n)` over the nonzero
+/// support; 1 = uniform.
+pub fn normalized_entropy(counts: &[u64]) -> f64 {
+    let support = counts.iter().filter(|&&c| c > 0).count();
+    if support <= 1 {
+        // A single-key (or empty) distribution carries no entropy.
+        return 0.0;
+    }
+    entropy_bits(counts) / (support as f64).log2()
+}
+
+/// Distributes each op's lookups to `nodes` memory nodes via a hash of the
+/// row index (the baselines' contiguous-allocation policy where the row index
+/// is the memory offset, §3.1), then summarizes the imbalance.
+pub fn trace_imbalance<F>(
+    trace: &crate::trace::Trace,
+    nodes: usize,
+    mut node_of: F,
+) -> ImbalanceSummary
+where
+    F: FnMut(usize, u64) -> usize,
+{
+    assert!(nodes > 0, "need at least one node");
+    let mut ratios = Vec::new();
+    for op in trace.iter_ops() {
+        let mut loads = vec![0u64; nodes];
+        for &idx in &op.indices {
+            let n = node_of(op.table, idx);
+            assert!(n < nodes, "node_of out of range");
+            loads[n] += 1;
+        }
+        ratios.push(imbalance_ratio(&loads));
+    }
+    ImbalanceSummary::from_ratios(&ratios)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TraceGenerator;
+
+    #[test]
+    fn ratio_edge_cases() {
+        assert_eq!(imbalance_ratio(&[]), 0.0);
+        assert_eq!(imbalance_ratio(&[0, 0]), 0.0);
+        assert_eq!(imbalance_ratio(&[4]), 1.0);
+        assert_eq!(imbalance_ratio(&[8, 0, 0, 0]), 4.0);
+    }
+
+    #[test]
+    fn summary_percentiles() {
+        let ratios = vec![1.0, 1.0, 2.0, 4.0];
+        let s = ImbalanceSummary::from_ratios(&ratios);
+        assert_eq!(s.max, 4.0);
+        assert_eq!(s.mean, 2.0);
+        assert!(s.p50 >= 1.0 && s.p50 <= 2.0);
+    }
+
+    #[test]
+    fn summary_empty_is_zero() {
+        assert_eq!(
+            ImbalanceSummary::from_ratios(&[]),
+            ImbalanceSummary::default()
+        );
+    }
+
+    #[test]
+    fn gini_bounds_and_ordering() {
+        assert_eq!(gini(&[]), 0.0);
+        assert_eq!(gini(&[0, 0]), 0.0);
+        assert!(gini(&[5, 5, 5]) < 1e-9);
+        let mild = gini(&[4, 3, 2, 1]);
+        let harsh = gini(&[97, 1, 1, 1]);
+        assert!(harsh > mild);
+        assert!(harsh < 1.0);
+    }
+
+    #[test]
+    fn entropy_uniform_is_log2n() {
+        let e = entropy_bits(&[2, 2, 2, 2]);
+        assert!((e - 2.0).abs() < 1e-12);
+        assert!((normalized_entropy(&[2, 2, 2, 2]) - 1.0).abs() < 1e-12);
+        assert_eq!(entropy_bits(&[]), 0.0);
+        assert_eq!(normalized_entropy(&[7]), 0.0);
+    }
+
+    #[test]
+    fn skewed_counts_have_low_entropy_high_gini() {
+        let skewed = [1000u64, 1, 1, 1, 1, 1, 1, 1];
+        assert!(normalized_entropy(&skewed) < 0.3);
+        assert!(gini(&skewed) > 0.7);
+    }
+
+    #[test]
+    fn more_nodes_worse_imbalance() {
+        // Paper Fig. 4: finer NMP granularity (more nodes) worsens imbalance.
+        let trace = TraceGenerator::criteo_scaled(16, 100)
+            .batch_size(8)
+            .pooling(40)
+            .generate(11);
+        let hash = |t: usize, idx: u64, nodes: usize| {
+            ((idx ^ (t as u64) << 7).wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize % nodes
+        };
+        let coarse = trace_imbalance(&trace, 4, |t, i| hash(t, i, 4));
+        let fine = trace_imbalance(&trace, 64, |t, i| hash(t, i, 64));
+        assert!(
+            fine.mean > coarse.mean,
+            "fine {} should exceed coarse {}",
+            fine.mean,
+            coarse.mean
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "node_of out of range")]
+    fn trace_imbalance_validates_node() {
+        let trace = TraceGenerator::criteo_scaled(16, 10_000)
+            .batch_size(1)
+            .generate(1);
+        trace_imbalance(&trace, 2, |_, _| 5);
+    }
+}

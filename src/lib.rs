@@ -1,0 +1,7 @@
+//! Workspace façade crate: re-exports the ReCross reproduction crates so the
+//! top-level examples and integration tests can use one import root.
+pub use recross;
+pub use recross_dram as dram;
+pub use recross_lp as lp;
+pub use recross_nmp as nmp;
+pub use recross_workload as workload;

@@ -1,0 +1,126 @@
+//! Property tests of the encodings: the 82-bit NMP ISA round-trips for all
+//! field values, the Feistel permutation stays a bijection with a working
+//! inverse for arbitrary domains, and the trace text format round-trips
+//! arbitrary traces.
+
+use proptest::prelude::*;
+
+use recross_repro::recross::isa::{DdrCmd, NmpInstruction, Opcode};
+use recross_repro::workload::io::{read_trace, write_trace};
+use recross_repro::workload::trace::{Batch, EmbeddingOp, FeistelPermutation, Trace};
+use recross_repro::workload::EmbeddingTableSpec;
+
+fn arb_instruction() -> impl Strategy<Value = NmpInstruction> {
+    (
+        prop::sample::select(vec![
+            Opcode::Sum,
+            Opcode::WeightedSum,
+            Opcode::Average,
+            Opcode::Concat,
+            Opcode::QuantizedSum,
+        ]),
+        prop::sample::select(vec![DdrCmd::Act, DdrCmd::Rd, DdrCmd::Pre]),
+        0u64..(1u64 << 34),
+        0u8..8,
+        any::<f32>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+        any::<bool>(),
+    )
+        .prop_map(
+            |(opcode, ddr_cmd, addr, vsize, weight, batch, last, bg, bank)| {
+                NmpInstruction {
+                    opcode,
+                    ddr_cmd,
+                    addr,
+                    vsize,
+                    weight,
+                    batch_tag: batch,
+                    last_tag: last,
+                    bg_tag: bg || bank, // bankTag requires BGTag
+                    bank_tag: bank,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn isa_roundtrips(inst in arb_instruction()) {
+        let word = inst.encode();
+        prop_assert_eq!(word >> 82, 0, "word fits in 82 bits");
+        let back = NmpInstruction::decode(word).expect("own encoding decodes");
+        // f32 NaNs compare unequal; compare bitwise.
+        prop_assert_eq!(back.weight.to_bits(), inst.weight.to_bits());
+        let (mut a, mut b) = (back, inst);
+        a.weight = 0.0;
+        b.weight = 0.0;
+        prop_assert_eq!(a, b);
+    }
+
+    #[test]
+    fn feistel_bijective_with_inverse(n in 1u64..200_000, key in any::<u64>()) {
+        let p = FeistelPermutation::new(n, key);
+        // Sampled probes: image in range, inverse recovers.
+        let step = (n / 64).max(1);
+        for x in (0..n).step_by(step as usize) {
+            let y = p.permute(x);
+            prop_assert!(y < n);
+            prop_assert_eq!(p.invert(y), x);
+        }
+    }
+
+    #[test]
+    fn feistel_small_domains_fully_bijective(n in 1u64..512, key in any::<u64>()) {
+        let p = FeistelPermutation::new(n, key);
+        let mut seen = vec![false; n as usize];
+        for x in 0..n {
+            let y = p.permute(x) as usize;
+            prop_assert!(!seen[y], "duplicate image");
+            seen[y] = true;
+        }
+    }
+
+    #[test]
+    fn trace_text_roundtrips(
+        rows in prop::collection::vec(2u64..500, 1..4),
+        ops in prop::collection::vec(
+            (0usize..4, prop::collection::vec((0u64..500, any::<f32>()), 1..6)),
+            0..10,
+        ),
+    ) {
+        let tables: Vec<EmbeddingTableSpec> =
+            rows.iter().map(|&r| EmbeddingTableSpec::new(r, 8)).collect();
+        let batch = Batch {
+            ops: ops
+                .into_iter()
+                .map(|(t, pairs)| {
+                    let table = t % tables.len();
+                    EmbeddingOp {
+                        table,
+                        indices: pairs
+                            .iter()
+                            .map(|&(i, _)| i % tables[table].rows)
+                            .collect(),
+                        weights: pairs.iter().map(|&(_, w)| w).collect(),
+                    }
+                })
+                .collect(),
+        };
+        let trace = Trace { tables, batches: vec![batch] };
+        let mut buf = Vec::new();
+        write_trace(&trace, &mut buf).expect("write");
+        let back = read_trace(buf.as_slice()).expect("read back");
+        prop_assert_eq!(&back.tables, &trace.tables);
+        prop_assert_eq!(back.ops(), trace.ops());
+        for (a, b) in trace.iter_ops().zip(back.iter_ops()) {
+            prop_assert_eq!(&a.indices, &b.indices);
+            for (x, y) in a.weights.iter().zip(&b.weights) {
+                prop_assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+}

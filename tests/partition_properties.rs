@@ -1,0 +1,111 @@
+//! Property tests of the BWP partitioner and placement: for arbitrary table
+//! sets and skews the LP must cover every row, respect region capacities,
+//! never predict worse than the naive split, and produce injective,
+//! region-consistent addresses.
+
+use proptest::prelude::*;
+
+use recross_repro::recross::config::{ReCrossConfig, Region};
+use recross_repro::recross::profile::{analytic_profiles, TableProfile};
+use recross_repro::recross::{
+    bandwidth_aware_partition, naive_partition, Placement, RegionBandwidth, RegionMap,
+};
+use recross_repro::workload::{AccessDistribution, EmbeddingTableSpec, TraceGenerator};
+
+fn arb_tables() -> impl Strategy<Value = Vec<(u64, f64)>> {
+    // (rows, zipf alpha) per table.
+    prop::collection::vec((4u64..200_000, 0.0f64..1.4), 1..12)
+}
+
+fn profiles_for(tables: &[(u64, f64)]) -> Vec<TableProfile> {
+    let specs: Vec<EmbeddingTableSpec> = tables
+        .iter()
+        .map(|&(rows, _)| EmbeddingTableSpec::new(rows, 64))
+        .collect();
+    let dists: Vec<AccessDistribution> = tables
+        .iter()
+        .map(|&(rows, alpha)| AccessDistribution::zipf(rows, alpha))
+        .collect();
+    let g = TraceGenerator::new(specs, dists).pooling(20).batch_size(8);
+    analytic_profiles(&g)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    #[test]
+    fn partition_covers_and_fits(tables in arb_tables(), segments in 1usize..12) {
+        let profiles = profiles_for(&tables);
+        let cfg = ReCrossConfig::default();
+        let map = RegionMap::new(&cfg);
+        let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
+        let d = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, segments)
+            .expect("small tables always fit");
+        // Coverage: every row of every table in exactly one region.
+        for (p, split) in profiles.iter().zip(&d.splits) {
+            let covered: u64 =
+                Region::ALL.iter().map(|&r| split.count_in(r)).sum();
+            prop_assert_eq!(covered, p.spec.rows);
+        }
+        // Capacity: bytes per region within bounds.
+        for region in Region::ALL {
+            let used: u64 = profiles
+                .iter()
+                .zip(&d.splits)
+                .map(|(p, s)| s.count_in(region) * p.spec.vector_bytes())
+                .sum();
+            prop_assert!(used <= map.capacity_bytes(region));
+        }
+        // The latency prediction is the max over regions.
+        let max = (0..3)
+            .map(|j| d.region_load_bytes[j] / bw.bytes_per_cycle[j])
+            .fold(0.0f64, f64::max);
+        prop_assert!((max - d.predicted_cycles).abs() < 1e-6);
+    }
+
+    #[test]
+    fn lp_never_predicts_worse_than_naive(tables in arb_tables()) {
+        let profiles = profiles_for(&tables);
+        let cfg = ReCrossConfig::default();
+        let map = RegionMap::new(&cfg);
+        let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
+        let lp = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, 8)
+            .expect("fits");
+        let naive = naive_partition(&profiles, &map);
+        let naive_latency = (0..3)
+            .map(|j| naive.region_load_bytes[j] * 8.0 / bw.bytes_per_cycle[j])
+            .fold(0.0f64, f64::max);
+        // The naive split is a feasible point of the LP, so the LP optimum
+        // cannot be worse (up to PWL discretization slack).
+        prop_assert!(
+            lp.predicted_cycles <= naive_latency * 1.10 + 1.0,
+            "lp {} vs naive {}",
+            lp.predicted_cycles,
+            naive_latency
+        );
+    }
+
+    #[test]
+    fn placement_is_injective_and_region_consistent(tables in arb_tables()) {
+        let profiles = profiles_for(&tables);
+        let cfg = ReCrossConfig::default();
+        let map = RegionMap::new(&cfg);
+        let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
+        let d = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, 4)
+            .expect("fits");
+        let placement = Placement::new(&profiles, d, map);
+        let mut seen = std::collections::HashSet::new();
+        for (t, p) in profiles.iter().enumerate() {
+            let step = (p.spec.rows / 37).max(1);
+            for rank in (0..p.spec.rows).step_by(step as usize) {
+                let region = placement.region_of_rank(t, rank);
+                let addr = placement.addr_of_rank(t, rank);
+                prop_assert_eq!(placement.region_map().region_of(&addr), region);
+                prop_assert!(
+                    seen.insert((addr.rank, addr.bank_group, addr.bank, addr.row, addr.col_byte)),
+                    "collision at table {} rank {}", t, rank
+                );
+            }
+        }
+    }
+}

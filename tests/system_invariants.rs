@@ -1,0 +1,164 @@
+//! Cross-crate system invariants: conservation laws that must hold across
+//! any accelerator run, serialization round-trips through the full
+//! pipeline, and multi-channel consistency.
+
+use recross_repro::dram::DramConfig;
+use recross_repro::nmp::accel::EmbeddingAccelerator;
+use recross_repro::nmp::multichannel::{run_multichannel, ChannelPlan};
+use recross_repro::nmp::{AccessProfile, CpuBaseline, Fafnir, RecNmp, TensorDimm, Trim};
+use recross_repro::recross::config::ReCrossConfig;
+use recross_repro::recross::engine::ReCross;
+use recross_repro::recross::profile::{analytic_profiles, empirical_profiles};
+use recross_repro::workload::io::{read_trace, write_trace};
+use recross_repro::workload::{Trace, TraceGenerator};
+
+fn generator() -> TraceGenerator {
+    TraceGenerator::criteo_scaled(32, 1000)
+        .batch_size(4)
+        .pooling(16)
+        .batches(2)
+}
+
+fn all_reports(trace: &Trace, g: &TraceGenerator) -> Vec<recross_repro::nmp::RunReport> {
+    let d = DramConfig::ddr5_4800();
+    let profile = AccessProfile::from_trace(trace);
+    let mut out = vec![
+        CpuBaseline::new(d.clone()).run(trace),
+        TensorDimm::new(d.clone()).run(trace),
+        RecNmp::new(d.clone()).run(trace),
+        Trim::bank_group(d.clone())
+            .with_profile(profile.clone())
+            .run(trace),
+        Trim::bank(d.clone()).with_profile(profile).run(trace),
+        Fafnir::new(d.clone()).run(trace),
+    ];
+    let mut rc =
+        ReCross::new(ReCrossConfig::default_d(d), analytic_profiles(g), 4.0).expect("fits");
+    out.push(rc.run(trace));
+    out
+}
+
+#[test]
+fn conservation_laws_hold_for_every_architecture() {
+    let g = generator();
+    let trace = g.generate(41);
+    let gathered_bits = trace.gathered_bytes() * 8;
+    for r in all_reports(&trace, &g) {
+        // Every lookup accounted.
+        assert_eq!(r.lookups as usize, trace.lookups(), "{}", r.name);
+        assert_eq!(r.ops as usize, trace.ops(), "{}", r.name);
+        // DRAM reads cannot be less than the gathered data minus cache hits
+        // (TensorDIMM reads more: per-rank slices round up to bursts).
+        if r.cache_hits == 0 && r.name != "TensorDIMM" {
+            assert!(
+                r.counters.rd_wr_bits >= gathered_bits,
+                "{}: read {} < gathered {}",
+                r.name,
+                r.counters.rd_wr_bits,
+                gathered_bits
+            );
+        }
+        // NMP architectures move less off-chip than the CPU's full gather.
+        if r.name != "CPU" {
+            assert!(
+                r.counters.io_bits < gathered_bits,
+                "{}: io {} vs gathered {}",
+                r.name,
+                r.counters.io_bits,
+                gathered_bits
+            );
+        }
+        // Timing sanity.
+        assert!(r.cycles > 0, "{}", r.name);
+        assert!(r.op_latency.max as u64 <= r.cycles, "{}", r.name);
+        assert!(r.energy.total_pj() > 0.0, "{}", r.name);
+        // Node loads cover all DRAM lookups.
+        let node_total: u64 = r.node_loads.iter().sum();
+        assert!(node_total + r.cache_hits >= r.lookups, "{}", r.name);
+    }
+}
+
+#[test]
+fn trace_io_roundtrip_preserves_simulation() {
+    let g = generator();
+    let trace = g.generate(42);
+    let mut buf = Vec::new();
+    write_trace(&trace, &mut buf).expect("write");
+    let back = read_trace(buf.as_slice()).expect("parse");
+    // The round-tripped trace simulates identically (deterministic engine).
+    let d = DramConfig::ddr5_4800();
+    let a = Trim::bank_group(d.clone()).run(&trace);
+    let b = Trim::bank_group(d).run(&back);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counters, b.counters);
+}
+
+#[test]
+fn multichannel_preserves_results_and_speeds_up() {
+    let g = generator();
+    let trace = g.generate(43);
+    let plan = ChannelPlan::balance_by_load(&trace, 2);
+    let one = {
+        let profile = AccessProfile::from_trace(&trace);
+        Trim::bank(DramConfig::ddr5_4800())
+            .with_profile(profile)
+            .run(&trace)
+    };
+    let two = run_multichannel(&plan, &trace, |_, sub| {
+        let profile = AccessProfile::from_trace(sub);
+        Trim::bank(DramConfig::ddr5_4800()).with_profile(profile)
+    });
+    assert_eq!(two.lookups, one.lookups);
+    assert!(two.cycles < one.cycles, "{} vs {}", two.cycles, one.cycles);
+    // Total DRAM traffic is conserved across the split.
+    assert_eq!(two.counters.rd_wr_bits, one.counters.rd_wr_bits);
+}
+
+#[test]
+fn multichannel_recross_matches_golden() {
+    let g = generator();
+    let trace = g.generate(44);
+    let plan = ChannelPlan::balance_by_load(&trace, 2);
+    // Functional check per channel: sub-traces reduce to the golden model.
+    for (sub, _orig) in plan.split(&trace) {
+        if sub.ops() == 0 {
+            continue;
+        }
+        let profile = AccessProfile::from_trace(&sub);
+        let profiles = empirical_profiles(&sub.tables, &profile);
+        let mut sys = ReCross::new(
+            ReCrossConfig::default_d(DramConfig::ddr5_4800()),
+            profiles,
+            4.0,
+        )
+        .expect("fits");
+        let got = sys.compute_results(&sub);
+        let want = recross_repro::workload::model::reduce_trace(&sub);
+        recross_repro::workload::model::assert_results_close(&got, &want, 1e-3);
+    }
+}
+
+#[test]
+fn fafnir_slots_between_tensordimm_and_trim() {
+    let g = generator();
+    let trace = g.generate(45);
+    let r = all_reports(&trace, &g);
+    let by_name = |n: &str| r.iter().find(|x| x.name == n).unwrap().cycles;
+    // Rank-level FAFNIR cannot beat the in-chip TRiM levels.
+    assert!(by_name("FAFNIR") > by_name("TRiM-G"));
+    assert!(by_name("FAFNIR") > by_name("TRiM-B"));
+}
+
+#[test]
+fn determinism_across_runs() {
+    let g = generator();
+    let trace = g.generate(46);
+    let d = DramConfig::ddr5_4800();
+    let a = CpuBaseline::new(d.clone()).run(&trace);
+    let b = CpuBaseline::new(d).run(&trace);
+    assert_eq!(a.cycles, b.cycles);
+    assert_eq!(a.counters, b.counters);
+    let mut s1 = ReCross::new(ReCrossConfig::default(), analytic_profiles(&g), 4.0).expect("fits");
+    let mut s2 = ReCross::new(ReCrossConfig::default(), analytic_profiles(&g), 4.0).expect("fits");
+    assert_eq!(s1.run(&trace).cycles, s2.run(&trace).cycles);
+}

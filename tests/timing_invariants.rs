@@ -1,0 +1,142 @@
+//! Property tests of the DRAM substrate: whatever the scheduler does, the
+//! emitted command stream must satisfy every timing constraint when
+//! replayed by the independent checker, and key structural invariants must
+//! hold for arbitrary request mixes.
+
+use proptest::prelude::*;
+
+use recross_repro::dram::check::check_trace;
+use recross_repro::dram::controller::{BusScope, Controller, ReadRequest, SchedulePolicy};
+use recross_repro::dram::{DramConfig, PhysAddr};
+
+fn arb_request() -> impl Strategy<Value = ReadRequest> {
+    (
+        0u32..2,
+        0u32..8,
+        0u32..4,
+        0u32..2048,
+        0u32..120,
+        1u32..5,
+        prop::sample::select(vec![
+            BusScope::Channel,
+            BusScope::Rank,
+            BusScope::BankGroup,
+            BusScope::Bank,
+        ]),
+        any::<bool>(),
+        any::<bool>(),
+        0u64..500,
+    )
+        .prop_map(
+            |(rank, bg, bank, row, col, bursts, dest, _salp, autopre, ready)| {
+                // SALP support is a per-bank hardware property: derive it
+                // from the bank id (banks 0/2 of featured groups have it),
+                // mirroring the ReCross B-region carve-out. Writes take the
+                // global row-buffer path (never SALP).
+                let salp = bank % 2 == 0 && bg < 4;
+                let write = !salp && row % 5 == 0;
+                ReadRequest {
+                    id: 0,
+                    addr: PhysAddr {
+                        channel: 0,
+                        rank,
+                        bank_group: bg,
+                        bank,
+                        row,
+                        col_byte: col * 64,
+                    },
+                    bursts,
+                    ready_at: ready,
+                    dest,
+                    salp,
+                    auto_precharge: autopre && !salp,
+                    write,
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn any_schedule_is_timing_valid(
+        reqs in prop::collection::vec(arb_request(), 1..120),
+        policy in prop::sample::select(vec![
+            SchedulePolicy::Fcfs,
+            SchedulePolicy::FrFcfs,
+            SchedulePolicy::LocalityAware,
+        ]),
+        window in 1usize..20,
+        global in prop::option::of(1usize..32),
+    ) {
+        let cfg = DramConfig::ddr5_4800();
+        let mut ctl = Controller::new(cfg.clone(), policy).with_bank_window(window);
+        if let Some(w) = global {
+            ctl = ctl.with_global_window(w);
+        }
+        ctl.record_trace();
+        for (i, mut r) in reqs.iter().copied().enumerate() {
+            r.id = i as u64;
+            ctl.enqueue(r);
+        }
+        let done = ctl.run();
+        prop_assert_eq!(done.len(), reqs.len(), "every request completes");
+        let trace = ctl.trace().expect("recording enabled");
+        let violations = check_trace(cfg.topology, cfg.timing, &trace);
+        prop_assert!(
+            violations.is_empty(),
+            "violations: {:?}",
+            &violations[..violations.len().min(3)]
+        );
+    }
+
+    #[test]
+    fn completions_respect_ready_time(
+        reqs in prop::collection::vec(arb_request(), 1..60),
+    ) {
+        let cfg = DramConfig::ddr5_4800();
+        let t = cfg.timing;
+        let mut ctl = Controller::new(cfg, SchedulePolicy::FrFcfs);
+        for (i, mut r) in reqs.iter().copied().enumerate() {
+            r.id = i as u64;
+            ctl.enqueue(r);
+        }
+        for c in ctl.run() {
+            let r = &reqs[c.id as usize];
+            // Data cannot finish before ready + CAS (write) latency + burst.
+            let cas = if r.write { t.t_cwl } else { t.t_cl };
+            prop_assert!(c.done_at >= r.ready_at + cas + t.t_bl);
+        }
+    }
+
+    #[test]
+    fn stats_are_consistent(
+        reqs in prop::collection::vec(arb_request(), 1..80),
+    ) {
+        let cfg = DramConfig::ddr5_4800();
+        let mut ctl = Controller::new(cfg.clone(), SchedulePolicy::FrFcfs);
+        for (i, mut r) in reqs.iter().copied().enumerate() {
+            r.id = i as u64;
+            ctl.enqueue(r);
+        }
+        let done = ctl.run();
+        let stats = ctl.stats();
+        // Every request classified exactly once.
+        prop_assert_eq!(
+            stats.row_hits + stats.row_misses,
+            reqs.len() as u64
+        );
+        // Read bits match the requested bursts.
+        let bursts: u64 = reqs.iter().map(|r| u64::from(r.bursts)).sum();
+        prop_assert_eq!(stats.energy.rd_wr_bits, bursts * 64 * 8);
+        // Bank loads account for all requests.
+        prop_assert_eq!(
+            stats.bank_loads.iter().sum::<u64>(),
+            reqs.len() as u64
+        );
+        // Finish is the last completion.
+        let last = done.iter().map(|c| c.done_at).max().unwrap_or(0);
+        prop_assert!(stats.finish >= last);
+    }
+}
