@@ -1,70 +1,54 @@
-//! Criterion benches: one group per paper figure/table runner.
+//! Benches: one group per paper figure/table runner.
 //!
 //! These time the experiment kernels at the Tiny/Quick scales so
 //! `cargo bench` completes in minutes; the full paper-scale data comes from
 //! the `repro` binary.
 
-use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
-
 use recross_bench::experiments as exp;
+use recross_bench::timer::BenchGroup;
 use recross_bench::workloads::{dram, standard_trace, Scale};
 
-fn bench_figures(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
+fn bench_figures() {
+    let mut g = BenchGroup::new("figures");
     g.sample_size(10);
 
-    g.bench_function("fig03_access_cdf", |b| {
-        b.iter(|| black_box(exp::fig3_access_cdf(Scale::Tiny, 50)))
+    g.bench("fig03_access_cdf", || exp::fig3_access_cdf(Scale::Tiny, 50));
+    g.bench("fig04_imbalance", || exp::fig4_imbalance(Scale::Tiny));
+    g.bench("fig05_levels", || exp::fig5_levels(Scale::Tiny));
+    g.bench("fig06_timeline", exp::fig6_timeline);
+    g.bench("fig12_ablation", || exp::fig12_ablation(Scale::Tiny));
+    g.bench("fig13_bwp_imbalance", || exp::fig13_bwp_imbalance(Scale::Tiny));
+    g.bench("fig14_configurations", || {
+        exp::fig14_configurations(Scale::Tiny)
     });
-    g.bench_function("fig04_imbalance", |b| {
-        b.iter(|| black_box(exp::fig4_imbalance(Scale::Tiny)))
-    });
-    g.bench_function("fig05_levels", |b| {
-        b.iter(|| black_box(exp::fig5_levels(Scale::Tiny)))
-    });
-    g.bench_function("fig06_timeline", |b| {
-        b.iter(|| black_box(exp::fig6_timeline()))
-    });
-    g.bench_function("fig12_ablation", |b| {
-        b.iter(|| black_box(exp::fig12_ablation(Scale::Tiny)))
-    });
-    g.bench_function("fig13_bwp_imbalance", |b| {
-        b.iter(|| black_box(exp::fig13_bwp_imbalance(Scale::Tiny)))
-    });
-    g.bench_function("fig14_configurations", |b| {
-        b.iter(|| black_box(exp::fig14_configurations(Scale::Tiny)))
-    });
-    g.bench_function("fig15_energy", |b| {
-        b.iter(|| black_box(exp::fig15_energy(Scale::Tiny)))
-    });
-    g.bench_function("table3_area", |b| b.iter(|| black_box(exp::table3_area())));
-    g.bench_function("overheads", |b| {
-        b.iter(|| black_box(exp::partitioning_overheads(Scale::Tiny)))
-    });
-    g.finish();
+    g.bench("fig15_energy", || exp::fig15_energy(Scale::Tiny));
+    g.bench("table3_area", exp::table3_area);
+    g.bench("overheads", || exp::partitioning_overheads(Scale::Tiny));
 }
 
-fn bench_sweep_points(c: &mut Criterion) {
+fn bench_sweep_points() {
     // The sweep figures (9/10/11) are benchmarked per representative point
     // rather than per full sweep.
-    let mut g = c.benchmark_group("sweeps");
+    let mut g = BenchGroup::new("sweeps");
     g.sample_size(10);
-    g.bench_function("fig09_point_vlen64", |b| {
+    {
         let (gen, trace) = standard_trace(Scale::Tiny, 64);
-        b.iter(|| black_box(exp::run_all(&gen, &trace, &dram())))
-    });
-    g.bench_function("fig10_point_batch8", |b| {
+        g.bench("fig09_point_vlen64", || exp::run_all(&gen, &trace, &dram()));
+    }
+    {
         let gen = recross_bench::workloads::generator(Scale::Tiny, 64).batch_size(8);
         let trace = gen.generate(1);
-        b.iter(|| black_box(exp::run_all(&gen, &trace, &dram())))
-    });
-    g.bench_function("fig11_point_ranks4", |b| {
+        g.bench("fig10_point_batch8", || exp::run_all(&gen, &trace, &dram()));
+    }
+    {
         let (gen, trace) = standard_trace(Scale::Tiny, 64);
-        b.iter(|| black_box(exp::run_all(&gen, &trace, &dram().with_ranks(4))))
-    });
-    g.finish();
+        g.bench("fig11_point_ranks4", || {
+            exp::run_all(&gen, &trace, &dram().with_ranks(4))
+        });
+    }
 }
 
-criterion_group!(benches, bench_figures, bench_sweep_points);
-criterion_main!(benches);
+fn main() {
+    bench_figures();
+    bench_sweep_points();
+}

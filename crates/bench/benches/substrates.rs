@@ -1,14 +1,12 @@
-//! Criterion benches of the substrate crates: DRAM controller throughput,
-//! LP solver, workload generation, and per-architecture simulation speed —
-//! plus ablation benches for the design choices DESIGN.md calls out.
-
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
-use std::hint::black_box;
+//! Benches of the substrate crates: DRAM controller throughput, LP solver,
+//! workload generation, and per-architecture simulation speed — plus
+//! ablation benches for the design choices DESIGN.md calls out.
 
 use recross::config::ReCrossConfig;
 use recross::engine::ReCross;
 use recross::profile::analytic_profiles;
 use recross::{bandwidth_aware_partition, RegionBandwidth, RegionMap};
+use recross_bench::timer::BenchGroup;
 use recross_bench::workloads::{dram, generator, standard_trace, Scale};
 use recross_dram::controller::{BusScope, Controller, ReadRequest, SchedulePolicy};
 use recross_dram::PhysAddr;
@@ -42,8 +40,8 @@ fn controller_requests(n: u64, salp: bool, dest: BusScope) -> Vec<ReadRequest> {
         .collect()
 }
 
-fn bench_controller(c: &mut Criterion) {
-    let mut g = c.benchmark_group("dram_controller");
+fn bench_controller() {
+    let mut g = BenchGroup::new("dram_controller");
     for (name, dest, salp, policy) in [
         (
             "host_frfcfs",
@@ -60,22 +58,19 @@ fn bench_controller(c: &mut Criterion) {
             SchedulePolicy::LocalityAware,
         ),
     ] {
-        g.bench_function(name, |b| {
-            let reqs = controller_requests(2_000, salp, dest);
-            b.iter(|| {
-                let mut ctl = Controller::new(dram(), policy);
-                for r in &reqs {
-                    ctl.enqueue(*r);
-                }
-                black_box(ctl.run().len())
-            })
+        let reqs = controller_requests(2_000, salp, dest);
+        g.bench(name, || {
+            let mut ctl = Controller::new(dram(), policy);
+            for r in &reqs {
+                ctl.enqueue(*r);
+            }
+            ctl.run().len()
         });
     }
-    g.finish();
 }
 
-fn bench_lp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("lp_solver");
+fn bench_lp() {
+    let mut g = BenchGroup::new("lp_solver");
     let gen = generator(Scale::Quick, 64);
     let profiles = analytic_profiles(&gen);
     let cfg = ReCrossConfig::default();
@@ -83,73 +78,51 @@ fn bench_lp(c: &mut Criterion) {
     let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
     // Ablation: PWL segment count (solution quality vs solve time).
     for segments in [4usize, 16, 32] {
-        g.bench_with_input(
-            BenchmarkId::new("bwp_partition_segments", segments),
-            &segments,
-            |b, &segments| {
-                b.iter(|| {
-                    black_box(
-                        bandwidth_aware_partition(&profiles, &map, &bw, 32.0, segments)
-                            .expect("feasible"),
-                    )
-                })
-            },
-        );
+        g.bench(&format!("bwp_partition_segments/{segments}"), || {
+            bandwidth_aware_partition(&profiles, &map, &bw, 32.0, segments).expect("feasible")
+        });
     }
-    g.finish();
 }
 
-fn bench_workload(c: &mut Criterion) {
-    let mut g = c.benchmark_group("workload");
-    g.bench_function("zipf_sampling_1m_rows", |b| {
+fn bench_workload() {
+    let mut g = BenchGroup::new("workload");
+    {
         let z = Zipf::new(1_000_000, 1.0).expect("valid");
         let mut rng = Xoshiro256pp::seed_from_u64(1);
-        b.iter(|| {
+        g.bench("zipf_sampling_1m_rows", move || {
             let mut acc = 0u64;
             for _ in 0..10_000 {
                 acc = acc.wrapping_add(z.sample(&mut rng));
             }
-            black_box(acc)
-        })
-    });
-    g.bench_function("trace_generation", |b| {
+            acc
+        });
+    }
+    {
         let gen = generator(Scale::Tiny, 64);
-        b.iter(|| black_box(gen.generate(7).lookups()))
-    });
-    g.finish();
+        g.bench("trace_generation", || gen.generate(7).lookups());
+    }
 }
 
-fn bench_accelerators(c: &mut Criterion) {
-    let mut g = c.benchmark_group("accelerators");
+fn bench_accelerators() {
+    let mut g = BenchGroup::new("accelerators");
     g.sample_size(10);
     let (gen, trace) = standard_trace(Scale::Tiny, 64);
-    g.bench_function("cpu", |b| {
-        b.iter(|| black_box(CpuBaseline::new(dram()).run(&trace).cycles))
-    });
-    g.bench_function("tensordimm", |b| {
-        b.iter(|| black_box(TensorDimm::new(dram()).run(&trace).cycles))
-    });
-    g.bench_function("recnmp", |b| {
-        b.iter(|| black_box(RecNmp::new(dram()).run(&trace).cycles))
-    });
-    g.bench_function("trim_g", |b| {
-        b.iter(|| black_box(Trim::bank_group(dram()).run(&trace).cycles))
-    });
-    g.bench_function("trim_b", |b| {
-        b.iter(|| black_box(Trim::bank(dram()).run(&trace).cycles))
-    });
-    g.bench_function("recross", |b| {
+    g.bench("cpu", || CpuBaseline::new(dram()).run(&trace).cycles);
+    g.bench("tensordimm", || TensorDimm::new(dram()).run(&trace).cycles);
+    g.bench("recnmp", || RecNmp::new(dram()).run(&trace).cycles);
+    g.bench("trim_g", || Trim::bank_group(dram()).run(&trace).cycles);
+    g.bench("trim_b", || Trim::bank(dram()).run(&trace).cycles);
+    {
         let profiles = analytic_profiles(&gen);
         let mut sys = ReCross::new(ReCrossConfig::default(), profiles, 2.0).expect("fits");
-        b.iter(|| black_box(sys.run(&trace).cycles))
-    });
-    g.finish();
+        g.bench("recross", move || sys.run(&trace).cycles);
+    }
 }
 
-fn bench_ablations(c: &mut Criterion) {
+fn bench_ablations() {
     // Simulated-cycle ablations (the metric is the simulated cycle count;
-    // criterion gives wall-clock — both are reported in EXPERIMENTS.md).
-    let mut g = c.benchmark_group("ablations");
+    // the harness gives wall-clock — both are reported in EXPERIMENTS.md).
+    let mut g = BenchGroup::new("ablations");
     g.sample_size(10);
     let (gen, trace) = standard_trace(Scale::Tiny, 64);
     for (name, cfg) in [
@@ -159,25 +132,19 @@ fn bench_ablations(c: &mut Criterion) {
         ("recross_no_las", ReCrossConfig::default().without_las()),
         ("recross_base", ReCrossConfig::base(dram())),
     ] {
-        g.bench_function(name, |b| {
-            let profiles = analytic_profiles(&gen);
-            let mut sys = ReCross::new(cfg.clone(), profiles, 2.0).expect("fits");
-            b.iter(|| black_box(sys.run(&trace).cycles))
-        });
+        let profiles = analytic_profiles(&gen);
+        let mut sys = ReCross::new(cfg, profiles, 2.0).expect("fits");
+        let t = &trace;
+        g.bench(name, move || sys.run(t).cycles);
     }
-    g.bench_function("trim_b_no_replication", |b| {
-        let mut sys = Trim::bank(dram()).with_replication(0.0, 1);
-        b.iter(|| black_box(sys.run(&trace).cycles))
-    });
-    g.finish();
+    let mut sys = Trim::bank(dram()).with_replication(0.0, 1);
+    g.bench("trim_b_no_replication", move || sys.run(&trace).cycles);
 }
 
-criterion_group!(
-    benches,
-    bench_controller,
-    bench_lp,
-    bench_workload,
-    bench_accelerators,
-    bench_ablations
-);
-criterion_main!(benches);
+fn main() {
+    bench_controller();
+    bench_lp();
+    bench_workload();
+    bench_accelerators();
+    bench_ablations();
+}

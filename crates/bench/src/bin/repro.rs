@@ -4,10 +4,14 @@
 //!
 //! ```text
 //! repro [--quick] <fig3|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|overheads|headline|all>
+//! repro [--quick] serve [--qps-sweep] [--bursty] [--sjf] [--seed=N] [--out=FILE]
 //! ```
 //!
 //! `--quick` runs the 1/100-scale workload (seconds instead of minutes);
-//! the default is the paper-scale Criteo-Kaggle workload.
+//! the default is the paper-scale Criteo-Kaggle workload. `serve` runs the
+//! open-loop serving sweep (not part of `all`): offered-QPS fractions of
+//! each architecture's saturation rate, reporting tail latency, goodput,
+//! and shed rate as deterministic JSON.
 
 use recross_bench::experiments as exp;
 use recross_bench::workloads::{dram, standard_trace, Scale};
@@ -127,10 +131,15 @@ fn main() {
         serving(scale);
         ran = true;
     }
+    if what.contains(&"serve") {
+        serve(scale, &args);
+        ran = true;
+    }
     if !ran {
         eprintln!(
             "unknown experiment {:?}; expected fig3..fig15, table2, table3, \
-             overheads, headline, inst, channels, ddr4, training, serving, all",
+             overheads, headline, inst, channels, ddr4, training, serving, \
+             serve, all",
             what
         );
         std::process::exit(2);
@@ -375,6 +384,64 @@ fn serving(scale: Scale) {
     );
     for (arch, interval, p50, p99) in exp::serving_latency(scale) {
         println!("{arch:<10} {interval:>16} {p50:>12} {p99:>12}");
+    }
+}
+
+fn serve(scale: Scale, args: &[String]) {
+    use recross_bench::serving;
+    use recross_serve::QueuePolicy;
+
+    banner("recross-serve: offered-QPS sweep (open-loop arrivals, batching queue per channel)");
+    let bursty = args.iter().any(|a| a == "--bursty");
+    let policy = if args.iter().any(|a| a == "--sjf") {
+        QueuePolicy::ShortestJobFirst
+    } else {
+        QueuePolicy::Fifo
+    };
+    let seed = match args.iter().find_map(|a| a.strip_prefix("--seed=")) {
+        Some(s) => s.parse::<u64>().unwrap_or_else(|_| {
+            eprintln!("--seed expects an unsigned integer, got {s:?}");
+            std::process::exit(2);
+        }),
+        None => 0x5E21,
+    };
+    let out = args.iter().find_map(|a| a.strip_prefix("--out="));
+
+    let sweeps = serving::qps_sweep(scale, bursty, policy, seed);
+    println!(
+        "{:<10} {:>9} {:>14} {:>12} {:>10} {:>12} {:>12} {:>9}",
+        "arch", "load", "offered qps", "goodput", "shed", "p50 (us)", "p99 (us)", "util"
+    );
+    for s in &sweeps {
+        for (fraction, r) in &s.points {
+            let util = r
+                .channels
+                .iter()
+                .map(|c| c.utilization)
+                .fold(0.0f64, f64::max);
+            println!(
+                "{:<10} {:>8.2}x {:>14.0} {:>12.0} {:>9.1}% {:>12.1} {:>12.1} {:>9.2}",
+                s.arch,
+                fraction,
+                r.offered_qps,
+                r.goodput_qps(),
+                r.shed_rate() * 100.0,
+                r.cycles_to_us(r.latency.quantile(0.5)),
+                r.cycles_to_us(r.latency.quantile(0.99)),
+                util
+            );
+        }
+    }
+    let json = serving::sweep_to_json(&sweeps, scale, bursty, policy, seed);
+    match out {
+        Some(path) => {
+            if let Err(e) = std::fs::write(path, format!("{json}\n")) {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+            println!("wrote {path}");
+        }
+        None => println!("{json}"),
     }
 }
 

@@ -2,9 +2,12 @@
 //!
 //! The benchmark harness of the ReCross reproduction: one runner per paper
 //! table/figure ([`experiments`]), the standard workload configurations
-//! ([`workloads`]), and the `repro` binary that prints every row the paper
-//! reports. Criterion benches (in `benches/`) time the same runners on the
-//! quick scale.
+//! ([`workloads`]), the serving-mode sweeps ([`serving`]), and the `repro`
+//! binary that prints every row the paper reports. The benches in `benches/`
+//! time the same runners on the quick scale via the dependency-free [`timer`]
+//! harness.
 
 pub mod experiments;
+pub mod serving;
+pub mod timer;
 pub mod workloads;

@@ -1,0 +1,287 @@
+//! The open-loop serving sweep: offered-QPS vs tail latency, CPU vs
+//! ReCross.
+//!
+//! This is the serving-systems view of the paper's speedups: instead of
+//! asking "how fast does a fixed trace run" (closed loop), it asks "at a
+//! given request rate, what latency does the p99 user see, and when does
+//! the system start shedding load" — the latency-bounded-throughput
+//! framing of the RecNMP/UpDLRM studies. Each request is a single
+//! recommendation inference (one sample of embedding lookups); requests
+//! are sharded across channels by [`ChannelPlan::balance_by_load`] and
+//! served by one batching queue + accelerator per channel
+//! (`recross_serve`). Everything is seeded, so a sweep is byte-identical
+//! across runs — CI diffs two runs of the emitted JSON.
+
+use recross::config::ReCrossConfig;
+use recross::engine::ReCross;
+use recross::profile::empirical_profiles;
+use recross_nmp::multichannel::ChannelPlan;
+use recross_nmp::{AccessProfile, CpuBaseline};
+use recross_serve::report::{fmt_f64, json_string};
+use recross_serve::{simulate, ArrivalProcess, BatcherConfig, QueuePolicy, ServeReport};
+use recross_workload::{Batch, Trace};
+
+use crate::workloads::{dram, generator, Scale};
+
+/// Offered load as fractions of the estimated per-arch saturation rate:
+/// three points below the knee, one just past it, one deep in overload.
+pub const SWEEP_FRACTIONS: &[f64] = &[0.3, 0.6, 0.9, 1.2, 2.0];
+
+/// Memory channels (one server each).
+pub const CHANNELS: usize = 2;
+
+/// Requests per sweep point.
+pub fn requests_for(scale: Scale) -> usize {
+    match scale {
+        Scale::Paper => 512,
+        Scale::Quick => 120,
+        Scale::Tiny => 32,
+    }
+}
+
+/// The batching-queue configuration used by the sweep: modest batches, a
+/// 2 µs linger (small next to service times, so latency is dominated by
+/// queueing, not the timeout), and a queue shallow enough that sustained
+/// 2× overload overflows it well within even the tiny-scale request count
+/// (excess ≈ n/2 must exceed the depth).
+pub fn batcher_config(policy: QueuePolicy) -> BatcherConfig {
+    BatcherConfig {
+        max_batch: 8,
+        max_linger: dram().ns_to_cycles(2_000.0),
+        queue_depth: 12,
+        policy,
+    }
+}
+
+/// One architecture's sweep: its estimated saturation rate and a report
+/// per offered-load fraction.
+#[derive(Debug, Clone)]
+pub struct ArchSweep {
+    /// Architecture name.
+    pub arch: String,
+    /// Estimated saturation rate (requests/s) the fractions scale.
+    pub capacity_qps: f64,
+    /// `(fraction, report)` per sweep point.
+    pub points: Vec<(f64, ServeReport)>,
+}
+
+/// Estimates an architecture's saturation rate: merge `max_batch` requests
+/// into one batch per channel, charge its cycle-accurate service time, and
+/// take the slowest channel's rate (requests are sharded across *all*
+/// channels, so the slowest bounds the system).
+fn estimate_capacity_qps<A, F>(
+    trace: &Trace,
+    plan: &ChannelPlan,
+    max_batch: usize,
+    cycles_per_sec: f64,
+    mut make: F,
+) -> f64
+where
+    A: recross_nmp::accel::EmbeddingAccelerator,
+    F: FnMut(usize, &Trace) -> A,
+{
+    let take = trace.batches.len().min(max_batch);
+    let mut capacity = f64::INFINITY;
+    for (ch, (sub, _)) in plan.split(trace).into_iter().enumerate() {
+        let merged = Batch {
+            ops: sub.batches[..take]
+                .iter()
+                .flat_map(|b| b.ops.iter().cloned())
+                .collect(),
+        };
+        if merged.ops.is_empty() {
+            continue;
+        }
+        let mut accel = make(ch, &sub);
+        let cycles = accel.service_time(&sub.tables, &merged);
+        if cycles > 0 {
+            capacity = capacity.min(take as f64 * cycles_per_sec / cycles as f64);
+        }
+    }
+    assert!(capacity.is_finite(), "trace must exercise some channel");
+    capacity
+}
+
+/// Builds the per-channel ReCross instance from the sub-trace's own
+/// empirical profiles (as the multi-channel scaling experiment does).
+fn make_recross(sub: &Trace, batch_hint: f64) -> ReCross {
+    let profile = AccessProfile::from_trace(sub);
+    let profiles = empirical_profiles(&sub.tables, &profile);
+    ReCross::new(ReCrossConfig::default_d(dram()), profiles, batch_hint).expect("placement fits")
+}
+
+/// Runs the full sweep ([`SWEEP_FRACTIONS`]): for CPU and ReCross,
+/// estimate capacity, then simulate every fraction of it under the given
+/// arrival process shape and dequeue policy. Deterministic in `seed`.
+pub fn qps_sweep(scale: Scale, bursty: bool, policy: QueuePolicy, seed: u64) -> Vec<ArchSweep> {
+    qps_sweep_at(scale, SWEEP_FRACTIONS, bursty, policy, seed)
+}
+
+/// [`qps_sweep`] over an explicit list of capacity fractions.
+pub fn qps_sweep_at(
+    scale: Scale,
+    fractions: &[f64],
+    bursty: bool,
+    policy: QueuePolicy,
+    seed: u64,
+) -> Vec<ArchSweep> {
+    let d = dram();
+    let cps = d.cycles_per_sec();
+    let n = requests_for(scale);
+    // One request = one sample: a trace of n single-sample batches.
+    let trace = generator(scale, 64).batch_size(1).batches(n).generate(seed);
+    let plan = ChannelPlan::balance_by_load(&trace, CHANNELS);
+    let cfg = batcher_config(policy);
+    let batch_hint = cfg.max_batch as f64;
+
+    let mut sweeps = Vec::new();
+    for arch in ["CPU", "ReCross"] {
+        let capacity = match arch {
+            "CPU" => estimate_capacity_qps(&trace, &plan, cfg.max_batch, cps, |_, _| {
+                CpuBaseline::new(d.clone())
+            }),
+            _ => estimate_capacity_qps(&trace, &plan, cfg.max_batch, cps, |_, sub| {
+                make_recross(sub, batch_hint)
+            }),
+        };
+        let points = fractions
+            .iter()
+            .map(|&fraction| {
+                let qps = capacity * fraction;
+                let process = if bursty {
+                    ArrivalProcess::bursty(qps)
+                } else {
+                    ArrivalProcess::poisson(qps)
+                };
+                // Same arrival seed for every arch/fraction pair base, so
+                // curves differ only by rate scaling and service model.
+                let arrivals = process.timestamps(n, cps, seed ^ 0xA221);
+                let report = match arch {
+                    "CPU" => simulate(arch, &trace, &plan, &arrivals, cfg, cps, |_, _| {
+                        CpuBaseline::new(d.clone())
+                    }),
+                    _ => simulate(arch, &trace, &plan, &arrivals, cfg, cps, |_, sub| {
+                        make_recross(sub, batch_hint)
+                    }),
+                };
+                (fraction, report)
+            })
+            .collect();
+        sweeps.push(ArchSweep {
+            arch: arch.to_string(),
+            capacity_qps: capacity,
+            points,
+        });
+    }
+    sweeps
+}
+
+/// The whole sweep as one JSON document (deterministic bytes for a given
+/// input — see module docs).
+pub fn sweep_to_json(
+    sweeps: &[ArchSweep],
+    scale: Scale,
+    bursty: bool,
+    policy: QueuePolicy,
+    seed: u64,
+) -> String {
+    let cfg = batcher_config(policy);
+    let archs: Vec<String> = sweeps
+        .iter()
+        .map(|s| {
+            let points: Vec<String> = s
+                .points
+                .iter()
+                .map(|(f, r)| {
+                    format!("{{\"fraction\":{},\"result\":{}}}", fmt_f64(*f), r.to_json())
+                })
+                .collect();
+            format!(
+                "{{\"arch\":{},\"capacity_qps\":{},\"points\":[{}]}}",
+                json_string(&s.arch),
+                fmt_f64(s.capacity_qps),
+                points.join(",")
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"experiment\":\"serve_qps_sweep\",\"scale\":{},",
+            "\"arrival\":{},\"policy\":{},\"seed\":{},\"channels\":{},",
+            "\"requests\":{},\"batcher\":{{\"max_batch\":{},",
+            "\"max_linger_cycles\":{},\"queue_depth\":{}}},",
+            "\"archs\":[{}]}}"
+        ),
+        json_string(match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+            Scale::Tiny => "tiny",
+        }),
+        json_string(if bursty { "bursty" } else { "poisson" }),
+        json_string(policy.kind()),
+        seed,
+        CHANNELS,
+        requests_for(scale),
+        cfg.max_batch,
+        cfg.max_linger,
+        cfg.queue_depth,
+        archs.join(",")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_sheds_only_past_saturation() {
+        let seed = 0x5E21;
+        let sweeps = qps_sweep(Scale::Tiny, false, QueuePolicy::Fifo, seed);
+        assert_eq!(sweeps.len(), 2);
+        for s in &sweeps {
+            assert!(s.capacity_qps > 0.0, "{}: positive capacity", s.arch);
+            let low = &s.points.first().expect("points").1;
+            let high = &s.points.last().expect("points").1;
+            assert_eq!(low.shed, 0, "{}: no shedding at 0.3x capacity", s.arch);
+            assert!(high.shed > 0, "{}: overload (2x) must shed", s.arch);
+            for (f, r) in &s.points {
+                assert_eq!(r.requests, requests_for(Scale::Tiny) as u64);
+                assert!(r.latency.quantile(0.99) > 0, "{} @ {f}: finite p99", s.arch);
+            }
+            // Deep queueing: p99 at 2x is no better than at 0.3x.
+            assert!(
+                high.latency.quantile(0.99) >= low.latency.quantile(0.99),
+                "{}: overload tail dominates light load",
+                s.arch
+            );
+        }
+        // ReCross saturates at a higher rate than the CPU baseline.
+        assert!(
+            sweeps[1].capacity_qps > sweeps[0].capacity_qps,
+            "ReCross capacity {} should beat CPU {}",
+            sweeps[1].capacity_qps,
+            sweeps[0].capacity_qps
+        );
+    }
+
+    #[test]
+    fn sweep_is_byte_identical_across_reruns() {
+        let seed = 0x5E22;
+        let frac = [0.4];
+        let a = qps_sweep_at(Scale::Tiny, &frac, false, QueuePolicy::Fifo, seed);
+        let b = qps_sweep_at(Scale::Tiny, &frac, false, QueuePolicy::Fifo, seed);
+        assert_eq!(
+            sweep_to_json(&a, Scale::Tiny, false, QueuePolicy::Fifo, seed),
+            sweep_to_json(&b, Scale::Tiny, false, QueuePolicy::Fifo, seed)
+        );
+    }
+
+    #[test]
+    fn sjf_and_bursty_variants_run() {
+        let sweeps = qps_sweep_at(Scale::Tiny, &[0.8], true, QueuePolicy::ShortestJobFirst, 3);
+        let json = sweep_to_json(&sweeps, Scale::Tiny, true, QueuePolicy::ShortestJobFirst, 3);
+        assert!(json.contains("\"arrival\":\"bursty\""));
+        assert!(json.contains("\"policy\":\"sjf\""));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+    }
+}

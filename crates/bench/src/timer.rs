@@ -1,0 +1,116 @@
+//! A minimal wall-clock bench harness.
+//!
+//! The container this reproduction builds in has no network access, so the
+//! bench binaries cannot depend on criterion; this module provides the small
+//! subset we need — warmup, repeated timed runs, median/min/mean reporting —
+//! with zero dependencies. `cargo bench` drives the same bench files as
+//! before.
+
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Result of timing one benchmark function.
+#[derive(Debug, Clone, Copy)]
+pub struct Measurement {
+    /// Median per-iteration time in nanoseconds.
+    pub median_ns: f64,
+    /// Fastest observed iteration.
+    pub min_ns: f64,
+    /// Mean per-iteration time.
+    pub mean_ns: f64,
+    /// Number of timed samples.
+    pub samples: usize,
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} us", ns / 1e3)
+    } else {
+        format!("{ns:.0} ns")
+    }
+}
+
+/// A named group of benchmarks (mirrors criterion's `benchmark_group`).
+pub struct BenchGroup {
+    name: String,
+    samples: usize,
+}
+
+impl BenchGroup {
+    /// Creates a group with the default sample count (10).
+    pub fn new(name: &str) -> Self {
+        println!("group {name}");
+        Self {
+            name: name.to_owned(),
+            samples: 10,
+        }
+    }
+
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, samples: usize) -> &mut Self {
+        self.samples = samples.max(1);
+        self
+    }
+
+    /// Times `f`, printing one line, and returns the measurement. The return
+    /// value of `f` is black-boxed so the work is not optimized away.
+    pub fn bench<T>(&mut self, name: &str, mut f: impl FnMut() -> T) -> Measurement {
+        // One warmup run (also primes caches/allocations).
+        black_box(f());
+        let mut times: Vec<f64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            times.push(start.elapsed().as_nanos() as f64);
+        }
+        times.sort_by(|a, b| a.partial_cmp(b).expect("no NaN"));
+        let m = Measurement {
+            median_ns: times[times.len() / 2],
+            min_ns: times[0],
+            mean_ns: times.iter().sum::<f64>() / times.len() as f64,
+            samples: times.len(),
+        };
+        println!(
+            "  {:<32} median {:>12}  min {:>12}  mean {:>12}  ({} samples)",
+            format!("{}/{}", self.name, name),
+            fmt_ns(m.median_ns),
+            fmt_ns(m.min_ns),
+            fmt_ns(m.mean_ns),
+            m.samples
+        );
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_reports_positive_times() {
+        let mut g = BenchGroup::new("test");
+        g.sample_size(3);
+        let m = g.bench("spin", || {
+            let mut acc = 0u64;
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert!(m.min_ns > 0.0);
+        assert!(m.median_ns >= m.min_ns);
+        assert_eq!(m.samples, 3);
+    }
+
+    #[test]
+    fn formatting_covers_ranges() {
+        assert!(fmt_ns(5.0).ends_with("ns"));
+        assert!(fmt_ns(5e3).ends_with("us"));
+        assert!(fmt_ns(5e6).ends_with("ms"));
+        assert!(fmt_ns(5e9).ends_with(" s"));
+    }
+}

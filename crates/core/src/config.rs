@@ -246,8 +246,10 @@ mod tests {
     #[test]
     #[should_panic(expected = "inside NMP-featured bank groups")]
     fn too_many_bank_pes_rejected() {
-        let mut c = ReCrossConfig::default();
-        c.bank_pes_per_rank = 17; // 4 BGs × 4 banks = 16 max
+        let c = ReCrossConfig {
+            bank_pes_per_rank: 17, // 4 BGs × 4 banks = 16 max
+            ..ReCrossConfig::default()
+        };
         c.validate();
     }
 

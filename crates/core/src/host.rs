@@ -232,8 +232,10 @@ mod tests {
     #[test]
     fn ca_only_is_slower() {
         let (sys, trace, dram) = system();
-        let mut slow_cfg = ReCrossConfig::default();
-        slow_cfg.two_stage_inst = false;
+        let slow_cfg = ReCrossConfig {
+            two_stage_inst: false,
+            ..ReCrossConfig::default()
+        };
         let g = TraceGenerator::criteo_scaled(64, 1000)
             .batch_size(2)
             .pooling(8);

@@ -315,6 +315,23 @@ impl DramConfig {
         cycles as f64 * 1_000.0 / self.clock_mhz
     }
 
+    /// Converts a nanosecond duration to controller cycles (rounded up, so
+    /// a positive duration never collapses to zero cycles).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ns` is negative or non-finite.
+    pub fn ns_to_cycles(&self, ns: f64) -> Cycle {
+        assert!(ns.is_finite() && ns >= 0.0, "duration must be >= 0, finite");
+        (ns * self.clock_mhz / 1_000.0).ceil() as Cycle
+    }
+
+    /// Controller clock rate in cycles per second (wall-time conversions
+    /// for the serving simulator).
+    pub fn cycles_per_sec(&self) -> f64 {
+        self.clock_mhz * 1e6
+    }
+
     /// Peak per-channel data-bus bandwidth in bytes per cycle.
     pub fn channel_bytes_per_cycle(&self) -> f64 {
         self.topology.burst_bytes as f64 / self.timing.t_bl as f64
@@ -388,6 +405,23 @@ mod tests {
     fn cycles_to_ns_at_2400mhz() {
         let c = DramConfig::ddr5_4800();
         assert!((c.cycles_to_ns(2400) - 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn ns_to_cycles_roundtrips_and_rounds_up() {
+        let c = DramConfig::ddr5_4800();
+        assert_eq!(c.ns_to_cycles(1000.0), 2400);
+        assert_eq!(c.ns_to_cycles(c.cycles_to_ns(12_345)), 12_345);
+        // A sub-cycle duration still costs one cycle.
+        assert_eq!(c.ns_to_cycles(0.1), 1);
+        assert_eq!(c.ns_to_cycles(0.0), 0);
+        assert!((c.cycles_per_sec() - 2.4e9).abs() < 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must be >= 0")]
+    fn negative_ns_rejected() {
+        DramConfig::ddr5_4800().ns_to_cycles(-1.0);
     }
 
     #[test]

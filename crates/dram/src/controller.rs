@@ -791,6 +791,7 @@ mod tests {
         DramConfig::ddr5_4800()
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn req(
         id: u64,
         rank: u32,

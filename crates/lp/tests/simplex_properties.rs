@@ -1,12 +1,17 @@
-//! Property tests of the simplex solver against brute-force enumeration.
+//! Randomized tests of the simplex solver against brute-force enumeration.
 //!
 //! For random small LPs with only ≤ constraints (plus variable bounds), the
-//! optimum lies at a vertex of the polytope; we enumerate all constraint
-//! intersections and compare objectives. Also checks solver invariants:
-//! returned points are feasible and no feasible sample beats the optimum.
+//! optimum lies at a vertex of the polytope; we grid-sample the box and
+//! compare objectives. Also checks solver invariants: returned points are
+//! feasible and no feasible sample beats the optimum.
+//!
+//! Cases are generated from the in-repo deterministic PRNG (the container
+//! has no network, so an external property-testing crate is not available);
+//! every run covers the same seeded case set, which keeps failures
+//! reproducible by construction.
 
-use proptest::prelude::*;
 use recross_lp::{LpProblem, Relation};
+use recross_workload::rng::Xoshiro256pp;
 
 #[derive(Debug, Clone)]
 struct SmallLp {
@@ -15,14 +20,22 @@ struct SmallLp {
     ub: Vec<f64>,
 }
 
-fn arb_small_lp() -> impl Strategy<Value = SmallLp> {
-    (2usize..4).prop_flat_map(|n| {
-        let c = prop::collection::vec(0.1f64..5.0, n);
-        let rows =
-            prop::collection::vec((prop::collection::vec(0.0f64..3.0, n), 1.0f64..20.0), 1..4);
-        let ub = prop::collection::vec(0.5f64..10.0, n);
-        (c, rows, ub).prop_map(|(c, rows, ub)| SmallLp { c, rows, ub })
-    })
+fn uniform(rng: &mut Xoshiro256pp, lo: f64, hi: f64) -> f64 {
+    lo + (hi - lo) * rng.next_f64()
+}
+
+fn random_lp(rng: &mut Xoshiro256pp) -> SmallLp {
+    let n = 2 + rng.next_bounded(2) as usize; // 2..4 variables
+    let c = (0..n).map(|_| uniform(rng, 0.1, 5.0)).collect();
+    let num_rows = 1 + rng.next_bounded(3) as usize; // 1..4 constraints
+    let rows = (0..num_rows)
+        .map(|_| {
+            let a = (0..n).map(|_| uniform(rng, 0.0, 3.0)).collect();
+            (a, uniform(rng, 1.0, 20.0))
+        })
+        .collect();
+    let ub = (0..n).map(|_| uniform(rng, 0.5, 10.0)).collect();
+    SmallLp { c, rows, ub }
 }
 
 fn build(lp: &SmallLp) -> LpProblem {
@@ -56,19 +69,20 @@ fn feasible(lp: &SmallLp, x: &[f64]) -> bool {
             .all(|(a, b)| a.iter().zip(x).map(|(ai, xi)| ai * xi).sum::<f64>() <= b + eps)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(128))]
-
-    #[test]
-    fn optimum_is_feasible_and_unbeaten_by_grid(lp in arb_small_lp()) {
+#[test]
+fn optimum_is_feasible_and_unbeaten_by_grid() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x51A917);
+    for case in 0..128 {
+        let lp = random_lp(&mut rng);
         // All coefficients non-negative with upper bounds → always feasible
         // (origin) and bounded.
         let sol = build(&lp).solve().expect("bounded and feasible");
-        prop_assert!(feasible(&lp, &sol.values), "optimum must be feasible");
-        let obj = |x: &[f64]| {
-            lp.c.iter().zip(x).map(|(c, v)| c * v).sum::<f64>()
-        };
-        prop_assert!((obj(&sol.values) - sol.objective).abs() < 1e-6);
+        assert!(
+            feasible(&lp, &sol.values),
+            "case {case}: optimum must be feasible: {lp:?}"
+        );
+        let obj = |x: &[f64]| lp.c.iter().zip(x).map(|(c, v)| c * v).sum::<f64>();
+        assert!((obj(&sol.values) - sol.objective).abs() < 1e-6, "case {case}");
         // Grid sample of the box; no feasible point may beat the optimum.
         let n = lp.c.len();
         let steps = 6usize;
@@ -80,9 +94,9 @@ proptest! {
                 .map(|(i, &k)| lp.ub[i] * k as f64 / (steps - 1) as f64)
                 .collect();
             if feasible(&lp, &x) {
-                prop_assert!(
+                assert!(
                     obj(&x) <= sol.objective + 1e-6,
-                    "grid point {x:?} with objective {} beats optimum {}",
+                    "case {case}: grid point {x:?} with objective {} beats optimum {}",
                     obj(&x),
                     sol.objective
                 );
@@ -102,19 +116,31 @@ proptest! {
             }
         }
     }
+}
 
-    #[test]
-    fn minimization_matches_negated_maximization(lp in arb_small_lp()) {
+#[test]
+fn minimization_matches_negated_maximization() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x317_111);
+    for case in 0..128 {
+        let lp = random_lp(&mut rng);
         // min c·x over the same polytope with x >= 0 trivially gives 0 at
         // the origin; check the solver agrees.
         let mut p = build(&lp);
         p.minimize();
         let sol = p.solve().expect("feasible");
-        prop_assert!(sol.objective.abs() < 1e-7, "origin is optimal: {}", sol.objective);
+        assert!(
+            sol.objective.abs() < 1e-7,
+            "case {case}: origin is optimal: {}",
+            sol.objective
+        );
     }
+}
 
-    #[test]
-    fn adding_a_constraint_never_improves(lp in arb_small_lp()) {
+#[test]
+fn adding_a_constraint_never_improves() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7143);
+    for case in 0..128 {
+        let lp = random_lp(&mut rng);
         let base = build(&lp).solve().expect("feasible").objective;
         let mut tighter = build(&lp);
         // Σ x_i <= half of the loosest bound.
@@ -125,6 +151,9 @@ proptest! {
             cap,
         );
         let t = tighter.solve().expect("still feasible").objective;
-        prop_assert!(t <= base + 1e-6, "tightening improved: {t} > {base}");
+        assert!(
+            t <= base + 1e-6,
+            "case {case}: tightening improved: {t} > {base}"
+        );
     }
 }

@@ -2,7 +2,7 @@
 
 use recross_dram::{Cycle, EnergyBreakdown, EnergyCounters};
 use recross_workload::stats::ImbalanceSummary;
-use recross_workload::Trace;
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 /// Per-embedding-op latency percentiles (serving-tail view), in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -117,6 +117,23 @@ pub trait EmbeddingAccelerator {
     /// Computes the functional f32 results for every op of the trace, via
     /// this architecture's placement round-trip.
     fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>>;
+
+    /// Cycles to service one dispatched batch, the online-serving entry
+    /// point: the serving simulator (`recross-serve`) forms batches from a
+    /// queue and charges each one this cycle-accurate cost. `tables` must
+    /// describe the same table universe the accelerator was built for (the
+    /// batch's `op.table` indices refer into it).
+    ///
+    /// The default wraps the batch in a single-batch [`Trace`] and reuses
+    /// [`run`](Self::run); models with cheaper incremental paths can
+    /// override it.
+    fn service_time(&mut self, tables: &[EmbeddingTableSpec], batch: &Batch) -> Cycle {
+        let trace = Trace {
+            tables: tables.to_vec(),
+            batches: vec![batch.clone()],
+        };
+        self.run(&trace).cycles
+    }
 }
 
 #[cfg(test)]

@@ -11,7 +11,6 @@
 use recross_workload::{Batch, EmbeddingOp, Trace};
 
 use crate::accel::{EmbeddingAccelerator, RunReport};
-use crate::profile::AccessProfile;
 
 /// Assignment of every table to a channel.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -30,7 +29,6 @@ impl ChannelPlan {
     /// Panics if `channels == 0`.
     pub fn balance_by_load(trace: &Trace, channels: usize) -> Self {
         assert!(channels > 0, "need at least one channel");
-        let profile = AccessProfile::from_trace(trace);
         let mut load: Vec<(usize, u64)> = trace
             .tables
             .iter()
@@ -44,7 +42,6 @@ impl ChannelPlan {
                 (i, lookups * spec.vector_bytes())
             })
             .collect();
-        let _ = profile;
         // Largest first onto the least-loaded channel.
         load.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
         let mut totals = vec![0u64; channels];

@@ -1,0 +1,68 @@
+//! # recross-serve — online request-serving simulation
+//!
+//! The paper's figures (and the rest of this reproduction) measure
+//! *closed-loop throughput*: run a fixed trace as fast as the hardware
+//! allows. Production recommendation inference is the opposite regime —
+//! an **open loop** where user requests arrive on their own schedule and
+//! the system is judged on tail latency at a given offered load (the
+//! framing of the RecNMP and UpDLRM serving studies). This crate adds that
+//! missing serving layer on top of the cycle-accurate accelerator models:
+//!
+//! * [`arrival`] — Poisson and bursty (MMPP-2) arrival processes that turn
+//!   a [`recross_workload::TraceGenerator`] trace into timestamped
+//!   requests, deterministically from a seed;
+//! * [`batch`] — a bounded size-or-timeout batching queue with FIFO or
+//!   shortest-job-first dequeue and tail-drop load shedding;
+//! * [`sim`] — a discrete-event loop running one server (queue +
+//!   accelerator) per memory channel, sharded by
+//!   [`recross_nmp::multichannel::ChannelPlan`], charging each dispatched
+//!   batch its cycle-accurate
+//!   [`service_time`](recross_nmp::accel::EmbeddingAccelerator::service_time);
+//! * [`hist`] / [`report`] — a mergeable log-scale latency histogram
+//!   (p50…p999 within ~3 % relative error) and a JSON [`ServeReport`]
+//!   with goodput, shed rate, queue-depth series, and per-channel
+//!   utilization.
+//!
+//! Everything is integer cycles and in-repo PRNG, so identical seeds give
+//! byte-identical reports on any platform.
+//!
+//! ```
+//! use recross_nmp::cpu::CpuBaseline;
+//! use recross_nmp::multichannel::ChannelPlan;
+//! use recross_serve::{ArrivalProcess, BatcherConfig, simulate};
+//! use recross_workload::TraceGenerator;
+//!
+//! let dram = recross_dram::DramConfig::ddr5_4800();
+//! // 32 single-request batches = 32 requests.
+//! let trace = TraceGenerator::criteo_scaled(32, 100)
+//!     .batch_size(1)
+//!     .pooling(8)
+//!     .batches(32)
+//!     .generate(7);
+//! let plan = ChannelPlan::balance_by_load(&trace, 2);
+//! let arrivals = ArrivalProcess::poisson(50_000.0)
+//!     .timestamps(trace.batches.len(), dram.cycles_per_sec(), 7);
+//! let report = simulate(
+//!     "CPU",
+//!     &trace,
+//!     &plan,
+//!     &arrivals,
+//!     BatcherConfig::default(),
+//!     dram.cycles_per_sec(),
+//!     |_, _| CpuBaseline::new(dram.clone()),
+//! );
+//! assert_eq!(report.requests, 32);
+//! println!("{}", report.to_json());
+//! ```
+
+pub mod arrival;
+pub mod batch;
+pub mod hist;
+pub mod report;
+pub mod sim;
+
+pub use arrival::ArrivalProcess;
+pub use batch::{Batcher, BatcherConfig, QueuePolicy, QueuedJob};
+pub use hist::LatencyHistogram;
+pub use report::{ChannelReport, ServeReport};
+pub use sim::simulate;

@@ -1,0 +1,279 @@
+//! Serving-run reports and their JSON form.
+//!
+//! Reports are emitted as hand-rolled JSON rather than via a serializer
+//! dependency; floats are formatted with Rust's shortest-roundtrip `{}`
+//! display, which is deterministic across platforms — two runs with the
+//! same seed produce byte-identical report files (checked in CI).
+
+use recross_dram::Cycle;
+
+use crate::hist::LatencyHistogram;
+
+/// Per-channel server statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChannelReport {
+    /// Cycles this channel's server spent servicing batches.
+    pub busy_cycles: Cycle,
+    /// `busy / makespan` — fraction of wall time the server was busy.
+    pub utilization: f64,
+    /// Batches dispatched.
+    pub dispatches: u64,
+    /// Requests shed at this channel's queue.
+    pub shed: u64,
+}
+
+/// Outcome of one serving simulation (one architecture at one offered
+/// load).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeReport {
+    /// Architecture name (e.g. `"ReCross"`).
+    pub name: String,
+    /// Requests offered.
+    pub requests: u64,
+    /// Requests shed (dropped by some channel's bounded queue).
+    pub shed: u64,
+    /// Cycle at which the last completion (or arrival) happened.
+    pub makespan_cycles: Cycle,
+    /// Cycles per wall-clock second (DRAM command clock).
+    pub cycles_per_sec: f64,
+    /// Offered load: requests per second over the arrival span.
+    pub offered_qps: f64,
+    /// Completed-request latency distribution (cycles).
+    pub latency: LatencyHistogram,
+    /// Total queued requests across channels, sampled after each arrival.
+    pub depth_series: Vec<u64>,
+    /// Per-channel server statistics.
+    pub channels: Vec<ChannelReport>,
+}
+
+impl ServeReport {
+    /// Requests that completed.
+    pub fn completed(&self) -> u64 {
+        self.requests - self.shed
+    }
+
+    /// Fraction of offered requests shed.
+    pub fn shed_rate(&self) -> f64 {
+        if self.requests == 0 {
+            0.0
+        } else {
+            self.shed as f64 / self.requests as f64
+        }
+    }
+
+    /// Completed requests per second of simulated wall time.
+    pub fn goodput_qps(&self) -> f64 {
+        let span_s = self.makespan_cycles as f64 / self.cycles_per_sec;
+        if span_s > 0.0 {
+            self.completed() as f64 / span_s
+        } else {
+            0.0
+        }
+    }
+
+    /// Converts a cycle count to microseconds.
+    pub fn cycles_to_us(&self, cycles: u64) -> f64 {
+        cycles as f64 * 1e6 / self.cycles_per_sec
+    }
+
+    /// Largest sampled total queue depth.
+    pub fn max_depth(&self) -> u64 {
+        self.depth_series.iter().copied().max().unwrap_or(0)
+    }
+
+    /// Mean sampled total queue depth.
+    pub fn mean_depth(&self) -> f64 {
+        if self.depth_series.is_empty() {
+            0.0
+        } else {
+            self.depth_series.iter().sum::<u64>() as f64 / self.depth_series.len() as f64
+        }
+    }
+
+    /// The depth series downsampled to at most `points` evenly spaced
+    /// samples (the full series can be one point per request).
+    pub fn depth_series_sampled(&self, points: usize) -> Vec<u64> {
+        let n = self.depth_series.len();
+        if n <= points || points == 0 {
+            return self.depth_series.clone();
+        }
+        (0..points)
+            .map(|i| self.depth_series[i * n / points])
+            .collect()
+    }
+
+    /// The report as a JSON object string (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let (p50, p90, p95, p99, p999) = self.latency.tail_summary();
+        let quant = |v: u64| format!("{{\"cycles\":{},\"us\":{}}}", v, fmt_f64(self.cycles_to_us(v)));
+        let channels: Vec<String> = self
+            .channels
+            .iter()
+            .map(|c| {
+                format!(
+                    "{{\"busy_cycles\":{},\"utilization\":{},\"dispatches\":{},\"shed\":{}}}",
+                    c.busy_cycles,
+                    fmt_f64(c.utilization),
+                    c.dispatches,
+                    c.shed
+                )
+            })
+            .collect();
+        let depth: Vec<String> = self
+            .depth_series_sampled(64)
+            .iter()
+            .map(u64::to_string)
+            .collect();
+        format!(
+            concat!(
+                "{{\"arch\":{},\"offered_qps\":{},\"requests\":{},",
+                "\"completed\":{},\"shed\":{},\"shed_rate\":{},",
+                "\"goodput_qps\":{},\"makespan_ms\":{},",
+                "\"latency\":{{\"mean_us\":{},\"p50\":{},\"p90\":{},",
+                "\"p95\":{},\"p99\":{},\"p999\":{},\"max\":{}}},",
+                "\"queue_depth\":{{\"mean\":{},\"max\":{},\"series\":[{}]}},",
+                "\"channels\":[{}]}}"
+            ),
+            json_string(&self.name),
+            fmt_f64(self.offered_qps),
+            self.requests,
+            self.completed(),
+            self.shed,
+            fmt_f64(self.shed_rate()),
+            fmt_f64(self.goodput_qps()),
+            fmt_f64(self.makespan_cycles as f64 * 1e3 / self.cycles_per_sec),
+            fmt_f64(self.cycles_to_us(self.latency.mean().round() as u64)),
+            quant(p50),
+            quant(p90),
+            quant(p95),
+            quant(p99),
+            quant(p999),
+            quant(self.latency.max()),
+            fmt_f64(self.mean_depth()),
+            self.max_depth(),
+            depth.join(","),
+            channels.join(",")
+        )
+    }
+}
+
+/// Deterministic JSON float: shortest-roundtrip display; non-finite values
+/// (which valid reports never contain) map to `null`.
+pub fn fmt_f64(v: f64) -> String {
+    if v.is_finite() {
+        let s = format!("{v}");
+        // `{}` omits ".0" for integral floats (and never uses scientific
+        // notation); keep the result visibly a float.
+        if s.contains('.') {
+            s
+        } else {
+            format!("{s}.0")
+        }
+    } else {
+        "null".to_string()
+    }
+}
+
+/// JSON string literal with the escapes our names can need.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_report() -> ServeReport {
+        let mut latency = LatencyHistogram::new();
+        for v in [100u64, 200, 300, 4000] {
+            latency.record(v);
+        }
+        ServeReport {
+            name: "ReCross".into(),
+            requests: 5,
+            shed: 1,
+            makespan_cycles: 2_400_000,
+            cycles_per_sec: 2.4e9,
+            offered_qps: 5000.0,
+            latency,
+            depth_series: vec![0, 1, 2, 1, 0],
+            channels: vec![ChannelReport {
+                busy_cycles: 1_200_000,
+                utilization: 0.5,
+                dispatches: 2,
+                shed: 1,
+            }],
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let r = sample_report();
+        assert_eq!(r.completed(), 4);
+        assert!((r.shed_rate() - 0.2).abs() < 1e-12);
+        // 4 completed over 1 ms of simulated time.
+        assert!((r.goodput_qps() - 4000.0).abs() < 1e-9);
+        assert_eq!(r.max_depth(), 2);
+        assert!((r.mean_depth() - 0.8).abs() < 1e-12);
+    }
+
+    #[test]
+    fn json_is_wellformed_and_deterministic() {
+        let r = sample_report();
+        let a = r.to_json();
+        let b = r.clone().to_json();
+        assert_eq!(a, b, "same report, same bytes");
+        // Structural sanity without a JSON parser: balanced braces, the
+        // keys we promise, no stray NaNs.
+        assert_eq!(
+            a.matches('{').count(),
+            a.matches('}').count(),
+            "balanced braces"
+        );
+        for key in [
+            "\"arch\":\"ReCross\"",
+            "\"offered_qps\":",
+            "\"shed_rate\":",
+            "\"goodput_qps\":",
+            "\"p99\":",
+            "\"queue_depth\":",
+            "\"channels\":",
+        ] {
+            assert!(a.contains(key), "missing {key} in {a}");
+        }
+        assert!(!a.contains("NaN") && !a.contains("inf"));
+    }
+
+    #[test]
+    fn float_formatting_is_json_safe() {
+        assert_eq!(fmt_f64(0.5), "0.5");
+        assert_eq!(fmt_f64(3.0), "3.0");
+        // `{}` Display expands rather than using scientific notation; the
+        // result must still round-trip exactly.
+        assert_eq!(fmt_f64(1e30).parse::<f64>().unwrap(), 1e30);
+        assert_eq!(fmt_f64(-2.5), "-2.5");
+        assert_eq!(fmt_f64(f64::NAN), "null");
+        assert_eq!(fmt_f64(f64::INFINITY), "null");
+        assert_eq!(json_string("a\"b\\c"), "\"a\\\"b\\\\c\"");
+    }
+
+    #[test]
+    fn depth_downsampling_preserves_length_bound() {
+        let mut r = sample_report();
+        r.depth_series = (0..1000).collect();
+        assert_eq!(r.depth_series_sampled(64).len(), 64);
+        assert_eq!(r.depth_series_sampled(2000).len(), 1000);
+    }
+}

@@ -1,0 +1,218 @@
+//! The event-driven serving simulator.
+//!
+//! One server per memory channel (channels are independent in DDR — see
+//! `recross_nmp::multichannel`): each channel owns a batching queue and an
+//! accelerator instance, requests are sharded across channels by the table
+//! partition ([`ChannelPlan`]), and a request completes when its last
+//! channel part does. The loop is a textbook discrete-event simulation —
+//! two event sources (next arrival, next batch trigger), always advance the
+//! earlier — and everything is integer cycles, so runs are exactly
+//! reproducible.
+
+use recross_dram::Cycle;
+use recross_nmp::accel::EmbeddingAccelerator;
+use recross_nmp::multichannel::ChannelPlan;
+use recross_workload::{Batch, Trace};
+
+use crate::batch::{Batcher, BatcherConfig, QueuedJob};
+use crate::report::{ChannelReport, ServeReport};
+
+/// What happened on one channel.
+struct ChannelOutcome {
+    /// Per-request completion cycle; `None` means shed (or never admitted).
+    completions: Vec<Option<Cycle>>,
+    /// Cycles the server spent servicing batches.
+    busy: Cycle,
+    /// Batches dispatched.
+    dispatches: u64,
+    /// Requests shed at this channel's queue.
+    shed: u64,
+    /// Queue depth sampled after each arrival (aligned across channels).
+    depth_after_arrival: Vec<usize>,
+}
+
+/// Simulates one channel: `sub` is the per-channel trace with **one batch
+/// per request** (possibly empty when the request touches no table on this
+/// channel — those complete at their arrival instant, costing nothing).
+fn simulate_channel<A: EmbeddingAccelerator>(
+    sub: &Trace,
+    arrivals: &[Cycle],
+    cfg: BatcherConfig,
+    accel: &mut A,
+) -> ChannelOutcome {
+    let n = arrivals.len();
+    assert_eq!(sub.batches.len(), n, "one request per batch");
+    let mut batcher = Batcher::new(cfg);
+    let mut completions: Vec<Option<Cycle>> = vec![None; n];
+    let mut depth_after_arrival = Vec::with_capacity(n);
+    let mut busy: Cycle = 0;
+    let mut dispatches = 0u64;
+    let mut server_free: Cycle = 0;
+    let mut next = 0usize; // next arrival index
+
+    loop {
+        let trigger = batcher.next_trigger(server_free);
+        // Admit the next arrival if it happens before (or at) the next
+        // dispatch; otherwise dispatch. Ties favor admission so a request
+        // arriving exactly at the trigger can still join the batch.
+        let admit = match (trigger, arrivals.get(next)) {
+            (None, None) => break,
+            (None, Some(_)) => true,
+            (Some(_), None) => false,
+            (Some(td), Some(&ta)) => ta <= td,
+        };
+        if admit {
+            let ops = &sub.batches[next].ops;
+            if ops.is_empty() {
+                // Nothing to do on this channel: done on arrival.
+                completions[next] = Some(arrivals[next]);
+            } else {
+                batcher.offer(QueuedJob {
+                    id: next,
+                    arrival: arrivals[next],
+                    cost: sub.batches[next].lookups() as u64,
+                });
+            }
+            depth_after_arrival.push(batcher.len());
+            next += 1;
+        } else {
+            let td = trigger.expect("dispatch arm requires a trigger");
+            let jobs = batcher.take_batch();
+            debug_assert!(!jobs.is_empty());
+            let merged = Batch {
+                ops: jobs
+                    .iter()
+                    .flat_map(|j| sub.batches[j.id].ops.iter().cloned())
+                    .collect(),
+            };
+            let service = accel.service_time(&sub.tables, &merged);
+            let done = td + service;
+            for j in &jobs {
+                completions[j.id] = Some(done);
+            }
+            busy += service;
+            dispatches += 1;
+            server_free = done;
+        }
+    }
+
+    ChannelOutcome {
+        completions,
+        busy,
+        dispatches,
+        shed: batcher.shed(),
+        depth_after_arrival,
+    }
+}
+
+/// Runs the full serving simulation: shards `trace` (one batch = one
+/// request) across `plan.channels()` servers, feeds each the same arrival
+/// sequence, and merges per-channel outcomes into a [`ServeReport`].
+///
+/// `make` builds the accelerator for a channel from its id and sub-trace
+/// (same contract as [`recross_nmp::multichannel::run_multichannel`]).
+/// A request is **shed** if any channel's queue dropped its part;
+/// otherwise its latency is `max(channel completion) − arrival`.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not nondecreasing or its length differs from
+/// the number of request batches in `trace`.
+pub fn simulate<A, F>(
+    name: &str,
+    trace: &Trace,
+    plan: &ChannelPlan,
+    arrivals: &[Cycle],
+    cfg: BatcherConfig,
+    cycles_per_sec: f64,
+    mut make: F,
+) -> ServeReport
+where
+    A: EmbeddingAccelerator,
+    F: FnMut(usize, &Trace) -> A,
+{
+    assert_eq!(
+        arrivals.len(),
+        trace.batches.len(),
+        "one arrival per request batch"
+    );
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be nondecreasing"
+    );
+
+    let mut outcomes = Vec::with_capacity(plan.channels());
+    for (ch, (sub, _orig)) in plan.split(trace).into_iter().enumerate() {
+        let mut accel = make(ch, &sub);
+        outcomes.push(simulate_channel(&sub, arrivals, cfg, &mut accel));
+    }
+    ServeReport::from_outcomes(name, arrivals, cycles_per_sec, &outcomes)
+}
+
+impl ServeReport {
+    fn from_outcomes(
+        name: &str,
+        arrivals: &[Cycle],
+        cycles_per_sec: f64,
+        outcomes: &[ChannelOutcome],
+    ) -> ServeReport {
+        let n = arrivals.len();
+        let mut hist = crate::hist::LatencyHistogram::new();
+        let mut shed_requests = 0u64;
+        let mut makespan: Cycle = arrivals.last().copied().unwrap_or(0);
+        for (i, &arrival) in arrivals.iter().enumerate() {
+            let mut done: Option<Cycle> = Some(arrival);
+            for o in outcomes {
+                match (done, o.completions[i]) {
+                    (Some(d), Some(c)) => done = Some(d.max(c)),
+                    _ => done = None,
+                }
+            }
+            match done {
+                Some(d) => {
+                    hist.record(d - arrival);
+                    makespan = makespan.max(d);
+                }
+                None => shed_requests += 1,
+            }
+        }
+        // Total queue depth across channels, sampled at each arrival.
+        let depth_series: Vec<u64> = (0..n)
+            .map(|i| {
+                outcomes
+                    .iter()
+                    .map(|o| o.depth_after_arrival[i] as u64)
+                    .sum()
+            })
+            .collect();
+        let channels = outcomes
+            .iter()
+            .map(|o| ChannelReport {
+                busy_cycles: o.busy,
+                utilization: if makespan > 0 {
+                    o.busy as f64 / makespan as f64
+                } else {
+                    0.0
+                },
+                dispatches: o.dispatches,
+                shed: o.shed,
+            })
+            .collect();
+        let arrival_span_s = arrivals.last().copied().unwrap_or(0) as f64 / cycles_per_sec;
+        ServeReport {
+            name: name.to_string(),
+            requests: n as u64,
+            shed: shed_requests,
+            makespan_cycles: makespan,
+            cycles_per_sec,
+            offered_qps: if arrival_span_s > 0.0 {
+                n as f64 / arrival_span_s
+            } else {
+                0.0
+            },
+            latency: hist,
+            depth_series,
+            channels,
+        }
+    }
+}

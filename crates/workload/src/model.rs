@@ -196,7 +196,7 @@ mod tests {
     #[test]
     fn mlp_forward_shapes_and_macs() {
         let mlp = MlpSpec::dlrm_bottom(13, 64);
-        let out = mlp.forward(&vec![0.1; 13]);
+        let out = mlp.forward(&[0.1; 13]);
         assert_eq!(out.len(), 64);
         assert_eq!(mlp.macs(), 13 * 512 + 512 * 256 + 256 * 64);
         assert!(out.iter().all(|v| *v >= 0.0), "ReLU output non-negative");

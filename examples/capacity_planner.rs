@@ -48,7 +48,7 @@ fn main() {
             area.total_mm2(),
             eff
         );
-        if best.as_ref().map_or(true, |(_, e)| eff > *e) {
+        if best.as_ref().is_none_or(|(_, e)| eff > *e) {
             best = Some((name, eff));
         }
     }

@@ -4,4 +4,5 @@ pub use recross;
 pub use recross_dram as dram;
 pub use recross_lp as lp;
 pub use recross_nmp as nmp;
+pub use recross_serve as serve;
 pub use recross_workload as workload;

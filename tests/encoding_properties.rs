@@ -1,125 +1,131 @@
-//! Property tests of the encodings: the 82-bit NMP ISA round-trips for all
+//! Randomized tests of the encodings: the 82-bit NMP ISA round-trips for all
 //! field values, the Feistel permutation stays a bijection with a working
 //! inverse for arbitrary domains, and the trace text format round-trips
 //! arbitrary traces.
-
-use proptest::prelude::*;
+//!
+//! Cases come from the in-repo deterministic PRNG, so every run re-checks
+//! the same seeded case set (no external property-testing dependency).
 
 use recross_repro::recross::isa::{DdrCmd, NmpInstruction, Opcode};
 use recross_repro::workload::io::{read_trace, write_trace};
+use recross_repro::workload::rng::Xoshiro256pp;
 use recross_repro::workload::trace::{Batch, EmbeddingOp, FeistelPermutation, Trace};
 use recross_repro::workload::EmbeddingTableSpec;
 
-fn arb_instruction() -> impl Strategy<Value = NmpInstruction> {
-    (
-        prop::sample::select(vec![
-            Opcode::Sum,
-            Opcode::WeightedSum,
-            Opcode::Average,
-            Opcode::Concat,
-            Opcode::QuantizedSum,
-        ]),
-        prop::sample::select(vec![DdrCmd::Act, DdrCmd::Rd, DdrCmd::Pre]),
-        0u64..(1u64 << 34),
-        0u8..8,
-        any::<f32>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-        any::<bool>(),
-    )
-        .prop_map(
-            |(opcode, ddr_cmd, addr, vsize, weight, batch, last, bg, bank)| {
-                NmpInstruction {
-                    opcode,
-                    ddr_cmd,
-                    addr,
-                    vsize,
-                    weight,
-                    batch_tag: batch,
-                    last_tag: last,
-                    bg_tag: bg || bank, // bankTag requires BGTag
-                    bank_tag: bank,
-                }
-            },
-        )
+fn random_instruction(rng: &mut Xoshiro256pp) -> NmpInstruction {
+    const OPCODES: [Opcode; 5] = [
+        Opcode::Sum,
+        Opcode::WeightedSum,
+        Opcode::Average,
+        Opcode::Concat,
+        Opcode::QuantizedSum,
+    ];
+    const CMDS: [DdrCmd; 3] = [DdrCmd::Act, DdrCmd::Rd, DdrCmd::Pre];
+    let bg = rng.next_bool(0.5);
+    let bank = rng.next_bool(0.5);
+    NmpInstruction {
+        opcode: OPCODES[rng.next_bounded(5) as usize],
+        ddr_cmd: CMDS[rng.next_bounded(3) as usize],
+        addr: rng.next_bounded(1 << 34),
+        vsize: rng.next_bounded(8) as u8,
+        // Arbitrary bit patterns, including NaNs/infinities/subnormals.
+        weight: f32::from_bits(rng.next_u64() as u32),
+        batch_tag: rng.next_bool(0.5),
+        last_tag: rng.next_bool(0.5),
+        bg_tag: bg || bank, // bankTag requires BGTag
+        bank_tag: bank,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(256))]
-
-    #[test]
-    fn isa_roundtrips(inst in arb_instruction()) {
+#[test]
+fn isa_roundtrips() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x15A_0001);
+    for case in 0..256 {
+        let inst = random_instruction(&mut rng);
         let word = inst.encode();
-        prop_assert_eq!(word >> 82, 0, "word fits in 82 bits");
+        assert_eq!(word >> 82, 0, "case {case}: word fits in 82 bits");
         let back = NmpInstruction::decode(word).expect("own encoding decodes");
         // f32 NaNs compare unequal; compare bitwise.
-        prop_assert_eq!(back.weight.to_bits(), inst.weight.to_bits());
+        assert_eq!(back.weight.to_bits(), inst.weight.to_bits(), "case {case}");
         let (mut a, mut b) = (back, inst);
         a.weight = 0.0;
         b.weight = 0.0;
-        prop_assert_eq!(a, b);
+        assert_eq!(a, b, "case {case}");
     }
+}
 
-    #[test]
-    fn feistel_bijective_with_inverse(n in 1u64..200_000, key in any::<u64>()) {
+#[test]
+fn feistel_bijective_with_inverse() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x0FE1_57E1);
+    for case in 0..256 {
+        let n = 1 + rng.next_bounded(200_000 - 1);
+        let key = rng.next_u64();
         let p = FeistelPermutation::new(n, key);
         // Sampled probes: image in range, inverse recovers.
         let step = (n / 64).max(1);
         for x in (0..n).step_by(step as usize) {
             let y = p.permute(x);
-            prop_assert!(y < n);
-            prop_assert_eq!(p.invert(y), x);
+            assert!(y < n, "case {case}: n={n}");
+            assert_eq!(p.invert(y), x, "case {case}: n={n} x={x}");
         }
     }
+}
 
-    #[test]
-    fn feistel_small_domains_fully_bijective(n in 1u64..512, key in any::<u64>()) {
+#[test]
+fn feistel_small_domains_fully_bijective() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x0FE1_57E2);
+    for case in 0..256 {
+        let n = 1 + rng.next_bounded(511);
+        let key = rng.next_u64();
         let p = FeistelPermutation::new(n, key);
         let mut seen = vec![false; n as usize];
         for x in 0..n {
             let y = p.permute(x) as usize;
-            prop_assert!(!seen[y], "duplicate image");
+            assert!(!seen[y], "case {case}: duplicate image (n={n})");
             seen[y] = true;
         }
     }
+}
 
-    #[test]
-    fn trace_text_roundtrips(
-        rows in prop::collection::vec(2u64..500, 1..4),
-        ops in prop::collection::vec(
-            (0usize..4, prop::collection::vec((0u64..500, any::<f32>()), 1..6)),
-            0..10,
-        ),
-    ) {
-        let tables: Vec<EmbeddingTableSpec> =
-            rows.iter().map(|&r| EmbeddingTableSpec::new(r, 8)).collect();
+#[test]
+fn trace_text_roundtrips() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0x7EA7_7097);
+    for case in 0..64 {
+        let num_tables = 1 + rng.next_bounded(3) as usize;
+        let tables: Vec<EmbeddingTableSpec> = (0..num_tables)
+            .map(|_| EmbeddingTableSpec::new(2 + rng.next_bounded(498), 8))
+            .collect();
+        let num_ops = rng.next_bounded(10) as usize;
         let batch = Batch {
-            ops: ops
-                .into_iter()
-                .map(|(t, pairs)| {
-                    let table = t % tables.len();
+            ops: (0..num_ops)
+                .map(|_| {
+                    let table = rng.next_bounded(tables.len() as u64) as usize;
+                    let pooling = 1 + rng.next_bounded(5) as usize;
                     EmbeddingOp {
                         table,
-                        indices: pairs
-                            .iter()
-                            .map(|&(i, _)| i % tables[table].rows)
+                        indices: (0..pooling)
+                            .map(|_| rng.next_bounded(tables[table].rows))
                             .collect(),
-                        weights: pairs.iter().map(|&(_, w)| w).collect(),
+                        weights: (0..pooling)
+                            .map(|_| f32::from_bits(rng.next_u64() as u32))
+                            .collect(),
                     }
                 })
                 .collect(),
         };
-        let trace = Trace { tables, batches: vec![batch] };
+        let trace = Trace {
+            tables,
+            batches: vec![batch],
+        };
         let mut buf = Vec::new();
         write_trace(&trace, &mut buf).expect("write");
         let back = read_trace(buf.as_slice()).expect("read back");
-        prop_assert_eq!(&back.tables, &trace.tables);
-        prop_assert_eq!(back.ops(), trace.ops());
+        assert_eq!(&back.tables, &trace.tables, "case {case}");
+        assert_eq!(back.ops(), trace.ops(), "case {case}");
         for (a, b) in trace.iter_ops().zip(back.iter_ops()) {
-            prop_assert_eq!(&a.indices, &b.indices);
+            assert_eq!(&a.indices, &b.indices, "case {case}");
             for (x, y) in a.weights.iter().zip(&b.weights) {
-                prop_assert_eq!(x.to_bits(), y.to_bits());
+                assert_eq!(x.to_bits(), y.to_bits(), "case {case}");
             }
         }
     }

@@ -24,8 +24,7 @@ fn run_all() -> Vec<RunReport> {
     let dram = DramConfig::ddr5_4800();
     let profile = AccessProfile::from_trace(&trace);
     let profiles = analytic_profiles(&g);
-    let mut out = Vec::new();
-    out.push(CpuBaseline::new(dram.clone()).run(&trace));
+    let mut out = vec![CpuBaseline::new(dram.clone()).run(&trace)];
     out.push(TensorDimm::new(dram.clone()).run(&trace));
     out.push(RecNmp::new(dram.clone()).run(&trace));
     out.push(

@@ -1,20 +1,25 @@
-//! Property tests of the BWP partitioner and placement: for arbitrary table
-//! sets and skews the LP must cover every row, respect region capacities,
-//! never predict worse than the naive split, and produce injective,
-//! region-consistent addresses.
-
-use proptest::prelude::*;
+//! Randomized tests of the BWP partitioner and placement: for arbitrary
+//! table sets and skews the LP must cover every row, respect region
+//! capacities, never predict worse than the naive split, and produce
+//! injective, region-consistent addresses.
+//!
+//! Cases come from the in-repo deterministic PRNG, so every run re-checks
+//! the same seeded case set (no external property-testing dependency).
 
 use recross_repro::recross::config::{ReCrossConfig, Region};
 use recross_repro::recross::profile::{analytic_profiles, TableProfile};
 use recross_repro::recross::{
     bandwidth_aware_partition, naive_partition, Placement, RegionBandwidth, RegionMap,
 };
+use recross_repro::workload::rng::Xoshiro256pp;
 use recross_repro::workload::{AccessDistribution, EmbeddingTableSpec, TraceGenerator};
 
-fn arb_tables() -> impl Strategy<Value = Vec<(u64, f64)>> {
-    // (rows, zipf alpha) per table.
-    prop::collection::vec((4u64..200_000, 0.0f64..1.4), 1..12)
+/// `(rows, zipf alpha)` per table — 1..12 tables, rows 4..200_000.
+fn random_tables(rng: &mut Xoshiro256pp) -> Vec<(u64, f64)> {
+    let n = 1 + rng.next_bounded(11) as usize;
+    (0..n)
+        .map(|_| (4 + rng.next_bounded(200_000 - 4), 1.4 * rng.next_f64()))
+        .collect()
 }
 
 fn profiles_for(tables: &[(u64, f64)]) -> Vec<TableProfile> {
@@ -30,11 +35,12 @@ fn profiles_for(tables: &[(u64, f64)]) -> Vec<TableProfile> {
     analytic_profiles(&g)
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    #[test]
-    fn partition_covers_and_fits(tables in arb_tables(), segments in 1usize..12) {
+#[test]
+fn partition_covers_and_fits() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xBA_0001);
+    for case in 0..32 {
+        let tables = random_tables(&mut rng);
+        let segments = 1 + rng.next_bounded(11) as usize;
         let profiles = profiles_for(&tables);
         let cfg = ReCrossConfig::default();
         let map = RegionMap::new(&cfg);
@@ -43,9 +49,8 @@ proptest! {
             .expect("small tables always fit");
         // Coverage: every row of every table in exactly one region.
         for (p, split) in profiles.iter().zip(&d.splits) {
-            let covered: u64 =
-                Region::ALL.iter().map(|&r| split.count_in(r)).sum();
-            prop_assert_eq!(covered, p.spec.rows);
+            let covered: u64 = Region::ALL.iter().map(|&r| split.count_in(r)).sum();
+            assert_eq!(covered, p.spec.rows, "case {case}");
         }
         // Capacity: bytes per region within bounds.
         for region in Region::ALL {
@@ -54,45 +59,51 @@ proptest! {
                 .zip(&d.splits)
                 .map(|(p, s)| s.count_in(region) * p.spec.vector_bytes())
                 .sum();
-            prop_assert!(used <= map.capacity_bytes(region));
+            assert!(used <= map.capacity_bytes(region), "case {case}");
         }
         // The latency prediction is the max over regions.
         let max = (0..3)
             .map(|j| d.region_load_bytes[j] / bw.bytes_per_cycle[j])
             .fold(0.0f64, f64::max);
-        prop_assert!((max - d.predicted_cycles).abs() < 1e-6);
+        assert!((max - d.predicted_cycles).abs() < 1e-6, "case {case}");
     }
+}
 
-    #[test]
-    fn lp_never_predicts_worse_than_naive(tables in arb_tables()) {
+#[test]
+fn lp_never_predicts_worse_than_naive() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xBA_0002);
+    for case in 0..32 {
+        let tables = random_tables(&mut rng);
         let profiles = profiles_for(&tables);
         let cfg = ReCrossConfig::default();
         let map = RegionMap::new(&cfg);
         let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
-        let lp = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, 8)
-            .expect("fits");
+        let lp = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, 8).expect("fits");
         let naive = naive_partition(&profiles, &map);
         let naive_latency = (0..3)
             .map(|j| naive.region_load_bytes[j] * 8.0 / bw.bytes_per_cycle[j])
             .fold(0.0f64, f64::max);
         // The naive split is a feasible point of the LP, so the LP optimum
         // cannot be worse (up to PWL discretization slack).
-        prop_assert!(
+        assert!(
             lp.predicted_cycles <= naive_latency * 1.10 + 1.0,
-            "lp {} vs naive {}",
+            "case {case}: lp {} vs naive {}",
             lp.predicted_cycles,
             naive_latency
         );
     }
+}
 
-    #[test]
-    fn placement_is_injective_and_region_consistent(tables in arb_tables()) {
+#[test]
+fn placement_is_injective_and_region_consistent() {
+    let mut rng = Xoshiro256pp::seed_from_u64(0xBA_0003);
+    for case in 0..32 {
+        let tables = random_tables(&mut rng);
         let profiles = profiles_for(&tables);
         let cfg = ReCrossConfig::default();
         let map = RegionMap::new(&cfg);
         let bw = RegionBandwidth::from_map(&map, &cfg.dram, 256, true);
-        let d = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, 4)
-            .expect("fits");
+        let d = bandwidth_aware_partition(&profiles, &map, &bw, 8.0, 4).expect("fits");
         let placement = Placement::new(&profiles, d, map);
         let mut seen = std::collections::HashSet::new();
         for (t, p) in profiles.iter().enumerate() {
@@ -100,10 +111,14 @@ proptest! {
             for rank in (0..p.spec.rows).step_by(step as usize) {
                 let region = placement.region_of_rank(t, rank);
                 let addr = placement.addr_of_rank(t, rank);
-                prop_assert_eq!(placement.region_map().region_of(&addr), region);
-                prop_assert!(
+                assert_eq!(
+                    placement.region_map().region_of(&addr),
+                    region,
+                    "case {case}"
+                );
+                assert!(
                     seen.insert((addr.rank, addr.bank_group, addr.bank, addr.row, addr.col_byte)),
-                    "collision at table {} rank {}", t, rank
+                    "case {case}: collision at table {t} rank {rank}"
                 );
             }
         }

@@ -70,7 +70,7 @@ fn conservation_laws_hold_for_every_architecture() {
         }
         // Timing sanity.
         assert!(r.cycles > 0, "{}", r.name);
-        assert!(r.op_latency.max as u64 <= r.cycles, "{}", r.name);
+        assert!(r.op_latency.max <= r.cycles, "{}", r.name);
         assert!(r.energy.total_pj() > 0.0, "{}", r.name);
         // Node loads cover all DRAM lookups.
         let node_total: u64 = r.node_loads.iter().sum();
