@@ -5,13 +5,17 @@
 //! ```text
 //! repro [--quick] <fig3|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|overheads|headline|all>
 //! repro [--quick] serve [--qps-sweep] [--bursty] [--sjf] [--seed=N] [--out=FILE]
+//! repro [--quick] serve --slo-search [--slo-p99=US] [--bursty] [--sjf] [--seed=N] [--out=FILE]
 //! ```
 //!
 //! `--quick` runs the 1/100-scale workload (seconds instead of minutes);
 //! the default is the paper-scale Criteo-Kaggle workload. `serve` runs the
 //! open-loop serving sweep (not part of `all`): offered-QPS fractions of
 //! each architecture's saturation rate, reporting tail latency, goodput,
-//! and shed rate as deterministic JSON.
+//! and shed rate as deterministic JSON. `serve --slo-search` instead runs
+//! the closed-loop throughput search: a deterministic bisection over
+//! offered QPS for the highest rate whose p99 latency meets the
+//! `--slo-p99` bound (microseconds) with nothing shed.
 
 use recross_bench::experiments as exp;
 use recross_bench::workloads::{dram, standard_trace, Scale};
@@ -388,51 +392,28 @@ fn serving(scale: Scale) {
 }
 
 fn serve(scale: Scale, args: &[String]) {
-    use recross_bench::serving;
+    use recross_bench::cli;
     use recross_serve::QueuePolicy;
 
-    banner("recross-serve: offered-QPS sweep (open-loop arrivals, batching queue per channel)");
     let bursty = args.iter().any(|a| a == "--bursty");
     let policy = if args.iter().any(|a| a == "--sjf") {
         QueuePolicy::ShortestJobFirst
     } else {
         QueuePolicy::Fifo
     };
-    let seed = match args.iter().find_map(|a| a.strip_prefix("--seed=")) {
-        Some(s) => s.parse::<u64>().unwrap_or_else(|_| {
-            eprintln!("--seed expects an unsigned integer, got {s:?}");
-            std::process::exit(2);
-        }),
-        None => 0x5E21,
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
     };
-    let out = args.iter().find_map(|a| a.strip_prefix("--out="));
+    let seed = cli::parse_seed(args).unwrap_or_else(|e| fail(e));
+    let slo_p99_us = cli::parse_slo_p99(args).unwrap_or_else(|e| fail(e));
+    let out = cli::value_of(args, "--out");
 
-    let sweeps = serving::qps_sweep(scale, bursty, policy, seed);
-    println!(
-        "{:<10} {:>9} {:>14} {:>12} {:>10} {:>12} {:>12} {:>9}",
-        "arch", "load", "offered qps", "goodput", "shed", "p50 (us)", "p99 (us)", "util"
-    );
-    for s in &sweeps {
-        for (fraction, r) in &s.points {
-            let util = r
-                .channels
-                .iter()
-                .map(|c| c.utilization)
-                .fold(0.0f64, f64::max);
-            println!(
-                "{:<10} {:>8.2}x {:>14.0} {:>12.0} {:>9.1}% {:>12.1} {:>12.1} {:>9.2}",
-                s.arch,
-                fraction,
-                r.offered_qps,
-                r.goodput_qps(),
-                r.shed_rate() * 100.0,
-                r.cycles_to_us(r.latency.quantile(0.5)),
-                r.cycles_to_us(r.latency.quantile(0.99)),
-                util
-            );
-        }
-    }
-    let json = serving::sweep_to_json(&sweeps, scale, bursty, policy, seed);
+    let json = if args.iter().any(|a| a == "--slo-search") {
+        serve_slo_search(scale, bursty, policy, seed, slo_p99_us)
+    } else {
+        serve_qps_sweep(scale, bursty, policy, seed)
+    };
     match out {
         Some(path) => {
             if let Err(e) = std::fs::write(path, format!("{json}\n")) {
@@ -443,6 +424,74 @@ fn serve(scale: Scale, args: &[String]) {
         }
         None => println!("{json}"),
     }
+}
+
+fn serve_qps_sweep(
+    scale: Scale,
+    bursty: bool,
+    policy: recross_serve::QueuePolicy,
+    seed: u64,
+) -> String {
+    use recross_bench::serving;
+
+    banner("recross-serve: offered-QPS sweep (open-loop arrivals, batching queue per channel)");
+    let sweeps = serving::qps_sweep(scale, bursty, policy, seed);
+    println!(
+        "{:<10} {:>9} {:>14} {:>12} {:>10} {:>12} {:>12} {:>9} {:>7}",
+        "arch", "load", "offered qps", "goodput", "shed", "p50 (us)", "p99 (us)", "util", "cache"
+    );
+    for s in &sweeps {
+        for (fraction, r) in &s.points {
+            let util = r
+                .channels
+                .iter()
+                .map(|c| c.utilization)
+                .fold(0.0f64, f64::max);
+            println!(
+                "{:<10} {:>8.2}x {:>14.0} {:>12.0} {:>9.1}% {:>12.1} {:>12.1} {:>9.2} {:>6.0}%",
+                s.arch,
+                fraction,
+                r.offered_qps,
+                r.goodput_qps(),
+                r.shed_rate() * 100.0,
+                r.cycles_to_us(r.latency.quantile(0.5)),
+                r.cycles_to_us(r.latency.quantile(0.99)),
+                util,
+                r.cache_hit_rate() * 100.0
+            );
+        }
+    }
+    serving::sweep_to_json(&sweeps, scale, bursty, policy, seed)
+}
+
+fn serve_slo_search(
+    scale: Scale,
+    bursty: bool,
+    policy: recross_serve::QueuePolicy,
+    seed: u64,
+    slo_p99_us: f64,
+) -> String {
+    use recross_bench::serving;
+
+    banner("recross-serve: closed-loop SLO throughput search (bisection over offered QPS)");
+    let reports = serving::slo_search(scale, bursty, policy, seed, slo_p99_us);
+    println!(
+        "{:<10} {:>14} {:>14} {:>8} {:>14} {:>7}",
+        "arch", "slo p99 (us)", "max qps", "probes", "last p99 (us)", "cache"
+    );
+    for r in &reports {
+        let last_met = r.probes.iter().rev().find(|p| p.met);
+        println!(
+            "{:<10} {:>14.1} {:>14.0} {:>8} {:>14.1} {:>6.0}%",
+            r.arch,
+            r.slo_p99_us,
+            r.max_qps,
+            r.probes.len(),
+            last_met.map_or(f64::NAN, |p| p.p99_us),
+            r.cache_total().hit_rate() * 100.0
+        );
+    }
+    serving::slo_to_json(&reports, scale, bursty, policy, seed)
 }
 
 fn overheads(scale: Scale) {

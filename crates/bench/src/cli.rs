@@ -1,0 +1,90 @@
+//! Flag parsing for the `repro` binary's `serve` experiment.
+//!
+//! The binary's convention: a malformed option prints one clear line to
+//! stderr and exits with status 2. Keeping the parsing here, returning
+//! `Result<_, String>` with the exact message, makes every error path unit
+//! testable without spawning the binary.
+
+/// Default `--seed` when none is given (shared with the sweep tests).
+pub const DEFAULT_SEED: u64 = 0x5E21;
+
+/// Default `--slo-p99` bound in microseconds when `--slo-search` is
+/// requested without one.
+pub const DEFAULT_SLO_P99_US: f64 = 100.0;
+
+/// The value of a `--key=value` option, if present (last wins).
+pub fn value_of<'a>(args: &'a [String], key: &str) -> Option<&'a str> {
+    let prefix = format!("{key}=");
+    args.iter()
+        .rev()
+        .find_map(|a| a.strip_prefix(prefix.as_str()))
+}
+
+/// Parses `--seed=N` (defaulting to [`DEFAULT_SEED`]).
+pub fn parse_seed(args: &[String]) -> Result<u64, String> {
+    match value_of(args, "--seed") {
+        None => Ok(DEFAULT_SEED),
+        Some(s) => s
+            .parse::<u64>()
+            .map_err(|_| format!("--seed expects an unsigned integer, got {s:?}")),
+    }
+}
+
+/// Parses `--slo-p99=MICROSECONDS` (defaulting to [`DEFAULT_SLO_P99_US`]).
+/// The bound must be a finite, strictly positive latency.
+pub fn parse_slo_p99(args: &[String]) -> Result<f64, String> {
+    match value_of(args, "--slo-p99") {
+        None => Ok(DEFAULT_SLO_P99_US),
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+            _ => Err(format!(
+                "--slo-p99 expects a positive latency bound in microseconds, got {s:?}"
+            )),
+        },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(list: &[&str]) -> Vec<String> {
+        list.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn seed_parses_and_defaults() {
+        assert_eq!(parse_seed(&args(&["serve"])), Ok(DEFAULT_SEED));
+        assert_eq!(parse_seed(&args(&["--seed=42"])), Ok(42));
+        // Last occurrence wins, matching common CLI behavior.
+        assert_eq!(parse_seed(&args(&["--seed=1", "--seed=2"])), Ok(2));
+        let err = parse_seed(&args(&["--seed=banana"])).unwrap_err();
+        assert_eq!(err, "--seed expects an unsigned integer, got \"banana\"");
+        assert!(parse_seed(&args(&["--seed=-3"])).is_err());
+    }
+
+    #[test]
+    fn slo_p99_parses_and_defaults() {
+        assert_eq!(parse_slo_p99(&args(&["serve"])), Ok(DEFAULT_SLO_P99_US));
+        assert_eq!(parse_slo_p99(&args(&["--slo-p99=250"])), Ok(250.0));
+        assert_eq!(parse_slo_p99(&args(&["--slo-p99=12.5"])), Ok(12.5));
+    }
+
+    #[test]
+    fn slo_p99_rejects_malformed_and_non_positive() {
+        for bad in ["banana", "0", "-5", "nan", "inf", ""] {
+            let err = parse_slo_p99(&args(&[&format!("--slo-p99={bad}")])).unwrap_err();
+            assert_eq!(
+                err,
+                format!("--slo-p99 expects a positive latency bound in microseconds, got {bad:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn value_of_ignores_other_flags() {
+        let a = args(&["--quick", "serve", "--out=/tmp/x.json"]);
+        assert_eq!(value_of(&a, "--out"), Some("/tmp/x.json"));
+        assert_eq!(value_of(&a, "--seed"), None);
+    }
+}

@@ -3,10 +3,12 @@
 //! The benchmark harness of the ReCross reproduction: one runner per paper
 //! table/figure ([`experiments`]), the standard workload configurations
 //! ([`workloads`]), the serving-mode sweeps ([`serving`]), and the `repro`
-//! binary that prints every row the paper reports. The benches in `benches/`
+//! binary that prints every row the paper reports (its flag parsing lives
+//! in [`cli`]). The benches in `benches/`
 //! time the same runners on the quick scale via the dependency-free [`timer`]
 //! harness.
 
+pub mod cli;
 pub mod experiments;
 pub mod serving;
 pub mod timer;

@@ -12,8 +12,9 @@
 use recross_dram::controller::{BusScope, SchedulePolicy};
 use recross_nmp::accel::{EmbeddingAccelerator, RunReport};
 use recross_nmp::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
+use recross_nmp::session::{MemoizedSession, ServiceSession};
 use recross_workload::model::embedding_value;
-use recross_workload::Trace;
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 use crate::config::{ReCrossConfig, Region};
 use crate::partition::{
@@ -25,7 +26,11 @@ use crate::regions::RegionMap;
 use crate::replication::HotReplicas;
 
 /// The assembled ReCross system.
-#[derive(Debug)]
+///
+/// `Clone` deep-copies the resolved placement state, which is what lets
+/// [`open_session`](EmbeddingAccelerator::open_session) hand out
+/// self-contained serving sessions without re-solving the partition LP.
+#[derive(Debug, Clone)]
 pub struct ReCross {
     cfg: ReCrossConfig,
     profiles: Vec<TableProfile>,
@@ -263,13 +268,9 @@ impl ReCross {
     }
 }
 
-impl EmbeddingAccelerator for ReCross {
-    fn name(&self) -> &str {
-        &self.cfg.name
-    }
-
-    fn run(&mut self, trace: &Trace) -> RunReport {
-        let plans = self.plans(trace);
+impl ReCross {
+    /// The engine configuration shared by the offline and serving paths.
+    fn engine_config(&self) -> EngineConfig {
         let mut engine_cfg =
             EngineConfig::nmp(&self.cfg.name, self.cfg.dram.clone(), self.num_nodes());
         engine_cfg.policy = if self.cfg.las {
@@ -279,6 +280,18 @@ impl EmbeddingAccelerator for ReCross {
         };
         engine_cfg.two_stage_inst = self.cfg.two_stage_inst;
         engine_cfg.reduction = self.cfg.reduction;
+        engine_cfg
+    }
+}
+
+impl EmbeddingAccelerator for ReCross {
+    fn name(&self) -> &str {
+        &self.cfg.name
+    }
+
+    fn run(&mut self, trace: &Trace) -> RunReport {
+        let plans = self.plans(trace);
+        let engine_cfg = self.engine_config();
         let mut report = execute(&engine_cfg, trace, &plans);
         // ReCross nodes are heterogeneous by design: the imbalance metric
         // must weight each PE by its bandwidth (a B node is *supposed* to
@@ -319,6 +332,35 @@ impl EmbeddingAccelerator for ReCross {
                 out
             })
             .collect()
+    }
+
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
+        assert_eq!(
+            tables.len(),
+            self.profiles.len(),
+            "session tables must match the profiled table universe"
+        );
+        for (t, p) in tables.iter().zip(&self.profiles) {
+            assert_eq!(*t, p.spec, "session table spec differs from profile");
+        }
+        // The expensive state — partition LP solution, placement mapping
+        // tables, region carve-out — is already resolved in `self`; the
+        // session deep-copies it once and reuses it for every batch.
+        let system = self.clone();
+        let engine_cfg = self.engine_config();
+        let mut trace = Trace {
+            tables: tables.to_vec(),
+            batches: Vec::new(),
+        };
+        Box::new(MemoizedSession::new(
+            self.cfg.name.clone(),
+            Box::new(move |batch: &Batch| {
+                trace.batches.clear();
+                trace.batches.push(batch.clone());
+                let plans = system.plans(&trace);
+                execute(&engine_cfg, &trace, &plans).cycles
+            }),
+        ))
     }
 }
 
@@ -448,6 +490,38 @@ mod tests {
         let got = replicated.compute_results(&trace);
         let want = recross_workload::model::reduce_trace(&trace);
         recross_workload::model::assert_results_close(&got, &want, 1e-3);
+    }
+
+    #[test]
+    fn session_matches_offline_single_batch_run() {
+        let g = generator().batches(2);
+        let trace = g.generate(5);
+        let profiles = analytic_profiles(&g);
+        let mut rc = ReCross::new(ReCrossConfig::default(), profiles, 4.0).unwrap();
+        let mut session = rc.open_session(&trace.tables);
+        for batch in &trace.batches {
+            let single = Trace {
+                tables: trace.tables.clone(),
+                batches: vec![batch.clone()],
+            };
+            assert_eq!(session.service(batch), rc.run(&single).cycles);
+        }
+        // Replaying the first batch is a memo hit with identical cycles.
+        let replay = session.service(&trace.batches[0]);
+        let single = Trace {
+            tables: trace.tables.clone(),
+            batches: vec![trace.batches[0].clone()],
+        };
+        assert_eq!(replay, rc.run(&single).cycles);
+        assert_eq!(session.stats().hits, 1);
+        assert_eq!(session.stats().misses, trace.batches.len() as u64);
+    }
+
+    #[test]
+    #[should_panic(expected = "session tables must match")]
+    fn session_rejects_mismatched_tables() {
+        let (rc, trace) = system();
+        let _ = rc.open_session(&trace.tables[..1]);
     }
 
     #[test]

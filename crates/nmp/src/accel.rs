@@ -2,7 +2,9 @@
 
 use recross_dram::{Cycle, EnergyBreakdown, EnergyCounters};
 use recross_workload::stats::ImbalanceSummary;
-use recross_workload::{Batch, EmbeddingTableSpec, Trace};
+use recross_workload::{EmbeddingTableSpec, Trace};
+
+use crate::session::ServiceSession;
 
 /// Per-embedding-op latency percentiles (serving-tail view), in cycles.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
@@ -93,9 +95,19 @@ impl RunReport {
     }
 
     /// Speedup of `self` over `other` in execution time.
+    ///
+    /// A zero-time run is infinitely fast, not infinitely slow: when
+    /// `self.ns == 0` this returns `f64::INFINITY` if `other` took any
+    /// time, and `1.0` when both took none (two empty runs are equally
+    /// fast). `speedup_over` therefore never reports `0.0` unless `other`
+    /// finished in zero time and `self` did not.
     pub fn speedup_over(&self, other: &RunReport) -> f64 {
         if self.ns == 0.0 {
-            0.0
+            if other.ns == 0.0 {
+                1.0
+            } else {
+                f64::INFINITY
+            }
         } else {
             other.ns / self.ns
         }
@@ -103,6 +115,18 @@ impl RunReport {
 }
 
 /// An embedding-layer accelerator model.
+///
+/// The trait has two faces:
+///
+/// * the **offline trace API** — [`run`](Self::run) and
+///   [`compute_results`](Self::compute_results) consume a whole [`Trace`]
+///   and rebuild all table-dependent state per call (the right shape for
+///   regenerating a paper figure);
+/// * the **serving API** — [`open_session`](Self::open_session) resolves
+///   layout/placement state for a fixed table universe *once* and returns
+///   a [`ServiceSession`] whose `service(&Batch)` prices individual
+///   dispatched batches, with an exact memoized service-time cache. The
+///   online simulator (`recross-serve`) holds one session per channel.
 ///
 /// Implementations must be *functionally correct*: the reduction results
 /// they produce are checked against the golden model
@@ -118,22 +142,17 @@ pub trait EmbeddingAccelerator {
     /// this architecture's placement round-trip.
     fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>>;
 
-    /// Cycles to service one dispatched batch, the online-serving entry
-    /// point: the serving simulator (`recross-serve`) forms batches from a
-    /// queue and charges each one this cycle-accurate cost. `tables` must
-    /// describe the same table universe the accelerator was built for (the
-    /// batch's `op.table` indices refer into it).
+    /// Opens a prepared serving session for `tables`: all table-dependent
+    /// state (layouts, caches' geometry, placements, engine configuration)
+    /// is resolved here, once, and owned by the returned session. The
+    /// batches later passed to [`ServiceSession::service`] index into this
+    /// table universe.
     ///
-    /// The default wraps the batch in a single-batch [`Trace`] and reuses
-    /// [`run`](Self::run); models with cheaper incremental paths can
-    /// override it.
-    fn service_time(&mut self, tables: &[EmbeddingTableSpec], batch: &Batch) -> Cycle {
-        let trace = Trace {
-            tables: tables.to_vec(),
-            batches: vec![batch.clone()],
-        };
-        self.run(&trace).cycles
-    }
+    /// A session's uncached path must price a batch exactly as [`run`]
+    /// prices the equivalent single-batch trace (the serving simulator's
+    /// results are invariant under this refactor, and the session tests
+    /// assert it per model).
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession>;
 }
 
 #[cfg(test)]
@@ -169,8 +188,21 @@ mod tests {
         };
         assert_eq!(a.speedup_over(&b), 4.0);
         assert_eq!(a.lookups_per_us(), 10_000.0);
+        assert_eq!(RunReport::default().lookups_per_us(), 0.0);
+    }
+
+    #[test]
+    fn zero_time_run_is_infinitely_fast_not_zero() {
+        let timed = RunReport {
+            ns: 100.0,
+            ..Default::default()
+        };
         let zero = RunReport::default();
-        assert_eq!(zero.speedup_over(&a), 0.0);
-        assert_eq!(zero.lookups_per_us(), 0.0);
+        // A zero-time run beats any timed run by an unbounded factor...
+        assert_eq!(zero.speedup_over(&timed), f64::INFINITY);
+        // ...two zero-time runs tie...
+        assert_eq!(zero.speedup_over(&zero), 1.0);
+        // ...and only a timed run compared against a zero-time one is 0×.
+        assert_eq!(timed.speedup_over(&zero), 0.0);
     }
 }

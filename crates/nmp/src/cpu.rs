@@ -9,12 +9,13 @@
 use recross_dram::controller::BusScope;
 use recross_dram::DramConfig;
 use recross_workload::model::{embedding_value, reduce_trace};
-use recross_workload::Trace;
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 use crate::accel::{EmbeddingAccelerator, RunReport};
 use crate::cache::LruCache;
 use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
 use crate::layout::TableLayout;
+use crate::session::{MemoizedSession, ServiceSession};
 
 /// CPU baseline model (16-core Broadwell-class host of the paper's Table 2).
 ///
@@ -24,7 +25,7 @@ use crate::layout::TableLayout;
 /// Criteo-scale trace would otherwise let the LLC absorb an unrealistic
 /// share of the hot set. Enable it with [`CpuBaseline::with_llc_bytes`] for
 /// sensitivity studies.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct CpuBaseline {
     dram: DramConfig,
     llc_bytes: u64,
@@ -43,20 +44,39 @@ impl CpuBaseline {
         self
     }
 
+    /// LLC capacity in entries for a table universe, sized by the (common)
+    /// vector footprint; cache lines would be finer-grained but vectors
+    /// are gathered whole.
+    fn llc_entries(&self, tables: &[EmbeddingTableSpec]) -> usize {
+        let avg_vec = tables.iter().map(|t| t.vector_bytes()).max().unwrap_or(256);
+        (self.llc_bytes / avg_vec.max(1)) as usize
+    }
+
+    /// The engine configuration shared by the offline and serving paths.
+    fn engine_config(&self) -> EngineConfig {
+        let mut cfg = EngineConfig::nmp("CPU", self.dram.clone(), 1);
+        cfg.inst_bits = None; // plain DRAM commands, no NMP instruction channel
+        cfg.reduce_at_host = true;
+        // The host controller holds at most 64 outstanding requests
+        // (Table 2), unlike NMP designs whose requests queue at the PEs;
+        // host-side reduction needs no psum-capacity op bound.
+        cfg.global_window = Some(64);
+        cfg.max_inflight_ops = None;
+        cfg
+    }
+
     /// Builds the per-lookup placement plans (public for the
     /// benchmark harness and custom engine configurations).
     pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
-        let topo = self.dram.topology;
-        let layout = TableLayout::pack(topo, &trace.tables, 0);
-        // LLC entries sized by the (common) vector footprint; cache lines
-        // would be finer-grained but vectors are gathered whole.
-        let avg_vec = trace
-            .tables
-            .iter()
-            .map(|t| t.vector_bytes())
-            .max()
-            .unwrap_or(256);
-        let entries = (self.llc_bytes / avg_vec.max(1)) as usize;
+        let layout = TableLayout::pack(self.dram.topology, &trace.tables, 0);
+        Self::plans_prepared(&layout, self.llc_entries(&trace.tables), trace)
+    }
+
+    /// [`plans`](Self::plans) with the table layout already resolved —
+    /// the per-batch half, shared with [`open_session`]'s prepared path.
+    /// The LLC starts cold on every call (per-call semantics keep the
+    /// serving memo cache exact).
+    fn plans_prepared(layout: &TableLayout, entries: usize, trace: &Trace) -> Vec<LookupPlan> {
         let mut llc = (entries > 0).then(|| LruCache::new(entries));
         let mut plans = Vec::with_capacity(trace.lookups());
         for (op_idx, op) in trace.iter_ops().enumerate() {
@@ -100,14 +120,7 @@ impl EmbeddingAccelerator for CpuBaseline {
 
     fn run(&mut self, trace: &Trace) -> RunReport {
         let plans = self.plans(trace);
-        let mut cfg = EngineConfig::nmp("CPU", self.dram.clone(), 1);
-        cfg.inst_bits = None; // plain DRAM commands, no NMP instruction channel
-        cfg.reduce_at_host = true;
-        // The host controller holds at most 64 outstanding requests
-        // (Table 2), unlike NMP designs whose requests queue at the PEs;
-        // host-side reduction needs no psum-capacity op bound.
-        cfg.global_window = Some(64);
-        cfg.max_inflight_ops = None;
+        let cfg = self.engine_config();
         execute(&cfg, trace, &plans)
     }
 
@@ -115,6 +128,25 @@ impl EmbeddingAccelerator for CpuBaseline {
         // Host-side reduction in trace order: the golden path itself.
         let _ = embedding_value(0, 0, 0);
         reduce_trace(trace)
+    }
+
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
+        let layout = TableLayout::pack(self.dram.topology, tables, 0);
+        let entries = self.llc_entries(tables);
+        let cfg = self.engine_config();
+        let mut trace = Trace {
+            tables: tables.to_vec(),
+            batches: Vec::new(),
+        };
+        Box::new(MemoizedSession::new(
+            "CPU",
+            Box::new(move |batch: &Batch| {
+                trace.batches.clear();
+                trace.batches.push(batch.clone());
+                let plans = Self::plans_prepared(&layout, entries, &trace);
+                execute(&cfg, &trace, &plans).cycles
+            }),
+        ))
     }
 }
 

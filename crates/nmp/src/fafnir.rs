@@ -11,14 +11,15 @@
 use recross_dram::controller::BusScope;
 use recross_dram::DramConfig;
 use recross_workload::model::reduce_trace;
-use recross_workload::Trace;
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 use crate::accel::{EmbeddingAccelerator, RunReport};
 use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
 use crate::layout::TableLayout;
+use crate::session::{MemoizedSession, ServiceSession};
 
 /// FAFNIR accelerator model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Fafnir {
     dram: DramConfig,
 }
@@ -31,17 +32,16 @@ impl Fafnir {
 
     /// Greedy table→rank assignment balancing bytes (FAFNIR's static
     /// partitioning at table granularity).
-    fn rank_of_table(&self, trace: &Trace) -> Vec<u32> {
+    fn assign_tables(&self, tables: &[EmbeddingTableSpec]) -> Vec<u32> {
         let ranks = self.dram.topology.ranks;
-        let mut sized: Vec<(usize, u64)> = trace
-            .tables
+        let mut sized: Vec<(usize, u64)> = tables
             .iter()
             .enumerate()
             .map(|(i, t)| (i, t.bytes()))
             .collect();
         sized.sort_by_key(|&(_, bytes)| std::cmp::Reverse(bytes));
         let mut totals = vec![0u64; ranks as usize];
-        let mut assign = vec![0u32; trace.tables.len()];
+        let mut assign = vec![0u32; tables.len()];
         for (table, bytes) in sized {
             let r = totals
                 .iter()
@@ -55,27 +55,34 @@ impl Fafnir {
         assign
     }
 
+    /// The shared single-rank layout. Every rank packs all tables (only
+    /// the assigned ones are addressed through it); packing all keeps
+    /// indices aligned without a remap table, and makes the per-rank
+    /// layouts identical — one suffices.
+    fn rank_layout(&self, tables: &[EmbeddingTableSpec]) -> TableLayout {
+        let mut rank_topo = self.dram.topology;
+        rank_topo.ranks = 1;
+        TableLayout::pack(rank_topo, tables, 0)
+    }
+
     /// Builds the per-lookup placement plans.
     pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
-        let topo = self.dram.topology;
-        let assign = self.rank_of_table(trace);
-        // One single-rank layout per rank, each packing that rank's tables.
-        let mut rank_topo = topo;
-        rank_topo.ranks = 1;
-        let layouts: Vec<TableLayout> = (0..topo.ranks)
-            .map(|r| {
-                // Pack all tables but only the ones assigned to this rank
-                // will be addressed through it; packing all keeps indices
-                // aligned without a remap table.
-                let _ = r;
-                TableLayout::pack(rank_topo, &trace.tables, 0)
-            })
-            .collect();
+        Self::plans_prepared(
+            &self.assign_tables(&trace.tables),
+            &self.rank_layout(&trace.tables),
+            trace,
+        )
+    }
+
+    /// [`plans`](Self::plans) with the table assignment and layout already
+    /// resolved — the per-batch half, shared with [`open_session`]'s
+    /// prepared path.
+    fn plans_prepared(assign: &[u32], layout: &TableLayout, trace: &Trace) -> Vec<LookupPlan> {
         let mut plans = Vec::with_capacity(trace.lookups());
         for (op_idx, op) in trace.iter_ops().enumerate() {
             let rank = assign[op.table];
             for &row in &op.indices {
-                let loc = layouts[rank as usize].locate(op.table, row);
+                let loc = layout.locate(op.table, row);
                 let mut addr = loc.addr;
                 addr.rank = rank;
                 plans.push(LookupPlan {
@@ -110,6 +117,29 @@ impl EmbeddingAccelerator for Fafnir {
             self.dram.topology.ranks as usize,
         );
         execute(&cfg, trace, &plans)
+    }
+
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
+        let assign = self.assign_tables(tables);
+        let layout = self.rank_layout(tables);
+        let cfg = EngineConfig::nmp(
+            "FAFNIR",
+            self.dram.clone(),
+            self.dram.topology.ranks as usize,
+        );
+        let mut trace = Trace {
+            tables: tables.to_vec(),
+            batches: Vec::new(),
+        };
+        Box::new(MemoizedSession::new(
+            "FAFNIR",
+            Box::new(move |batch: &Batch| {
+                trace.batches.clear();
+                trace.batches.push(batch.clone());
+                let plans = Self::plans_prepared(&assign, &layout, &trace);
+                execute(&cfg, &trace, &plans).cycles
+            }),
+        ))
     }
 
     fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>> {
@@ -152,7 +182,7 @@ mod tests {
     fn assignment_balances_bytes() {
         let t = trace();
         let f = Fafnir::new(DramConfig::ddr5_4800());
-        let assign = f.rank_of_table(&t);
+        let assign = f.assign_tables(&t.tables);
         let mut totals = [0u64; 2];
         for (table, &r) in assign.iter().enumerate() {
             totals[r as usize] += t.tables[table].bytes();

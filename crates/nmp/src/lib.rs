@@ -5,6 +5,8 @@
 //! the paper's four NMP baselines and the CPU baseline.
 //!
 //! * [`accel`] — the [`EmbeddingAccelerator`] trait and [`RunReport`];
+//! * [`session`] — the prepare-once / service-many [`ServiceSession`]
+//!   serving surface with its memoized service-time cache;
 //! * [`engine`] — placement plans → DRAM command streams, the 82-bit
 //!   NMP-instruction channel (§4.2), PE/result-return accounting;
 //! * [`layout`] — contiguous table layout (row index = memory offset);
@@ -46,10 +48,12 @@ pub mod layout;
 pub mod multichannel;
 pub mod profile;
 pub mod recnmp;
+pub mod session;
 pub mod tensordimm;
 pub mod trim;
 
 pub use accel::{EmbeddingAccelerator, LatencySummary, RunReport};
+pub use session::{MemoizedSession, ServiceSession, SessionStats};
 pub use cost::{AreaModel, AreaParams, AreaReport};
 pub use cpu::CpuBaseline;
 pub use engine::{execute, internal_bandwidth, EngineConfig, LookupPlan, PlacedRead};

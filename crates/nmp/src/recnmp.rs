@@ -9,15 +9,16 @@
 use recross_dram::controller::BusScope;
 use recross_dram::DramConfig;
 use recross_workload::model::reduce_trace;
-use recross_workload::Trace;
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 use crate::accel::{EmbeddingAccelerator, RunReport};
 use crate::cache::LruCache;
 use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
 use crate::layout::TableLayout;
+use crate::session::{MemoizedSession, ServiceSession};
 
 /// RecNMP accelerator model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct RecNmp {
     dram: DramConfig,
     cache_bytes_per_rank: u64,
@@ -38,19 +39,35 @@ impl RecNmp {
         self
     }
 
+    /// Per-rank PE-cache capacity in entries for a table universe.
+    fn cache_entries(&self, tables: &[EmbeddingTableSpec]) -> usize {
+        let max_vec = tables.iter().map(|t| t.vector_bytes()).max().unwrap_or(256);
+        (self.cache_bytes_per_rank / max_vec.max(1)) as usize
+    }
+
     /// Builds the per-lookup placement plans (public for the
     /// benchmark harness and custom engine configurations).
     pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
-        let topo = self.dram.topology;
-        let layout = TableLayout::pack(topo, &trace.tables, 0);
-        let max_vec = trace
-            .tables
-            .iter()
-            .map(|t| t.vector_bytes())
-            .max()
-            .unwrap_or(256);
-        let entries = (self.cache_bytes_per_rank / max_vec.max(1)) as usize;
-        let mut caches: Vec<Option<LruCache<(usize, u64)>>> = (0..topo.ranks)
+        let layout = TableLayout::pack(self.dram.topology, &trace.tables, 0);
+        Self::plans_prepared(
+            &layout,
+            self.cache_entries(&trace.tables),
+            self.dram.topology.ranks,
+            trace,
+        )
+    }
+
+    /// [`plans`](Self::plans) with the layout already resolved — the
+    /// per-batch half, shared with [`open_session`]'s prepared path. The
+    /// PE caches start cold on every call (per-call semantics keep the
+    /// serving memo cache exact).
+    fn plans_prepared(
+        layout: &TableLayout,
+        entries: usize,
+        ranks: u32,
+        trace: &Trace,
+    ) -> Vec<LookupPlan> {
+        let mut caches: Vec<Option<LruCache<(usize, u64)>>> = (0..ranks)
             .map(|_| (entries > 0).then(|| LruCache::new(entries)))
             .collect();
         let mut plans = Vec::with_capacity(trace.lookups());
@@ -102,6 +119,26 @@ impl EmbeddingAccelerator for RecNmp {
             self.dram.topology.ranks as usize,
         );
         execute(&cfg, trace, &plans)
+    }
+
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
+        let layout = TableLayout::pack(self.dram.topology, tables, 0);
+        let entries = self.cache_entries(tables);
+        let ranks = self.dram.topology.ranks;
+        let cfg = EngineConfig::nmp("RecNMP", self.dram.clone(), ranks as usize);
+        let mut trace = Trace {
+            tables: tables.to_vec(),
+            batches: Vec::new(),
+        };
+        Box::new(MemoizedSession::new(
+            "RecNMP",
+            Box::new(move |batch: &Batch| {
+                trace.batches.clear();
+                trace.batches.push(batch.clone());
+                let plans = Self::plans_prepared(&layout, entries, ranks, &trace);
+                execute(&cfg, &trace, &plans).cycles
+            }),
+        ))
     }
 
     fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>> {

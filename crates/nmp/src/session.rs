@@ -1,0 +1,283 @@
+//! The prepare-once / service-many serving surface.
+//!
+//! The offline API ([`EmbeddingAccelerator::run`]) consumes a whole
+//! [`Trace`]; it rebuilds the architecture's table layout, engine
+//! configuration, and (for ReCross) placement state on every call. That is
+//! the right shape for regenerating a paper figure and the wrong shape for
+//! the serving simulator, which charges a cycle-accurate cost to *every
+//! dispatched batch* — thousands of calls against one fixed table universe.
+//!
+//! [`EmbeddingAccelerator::open_session`] resolves all table-dependent
+//! state once and returns a [`ServiceSession`]: a lightweight object whose
+//! [`service`](ServiceSession::service) prices one batch. Sessions also
+//! memoize service times keyed on the batch's canonical op signature, so a
+//! batch composition the session has already priced (common across the
+//! probes of an SLO search, which replays the same request set at different
+//! rates) costs a hash lookup instead of a DRAM-level simulation. Hit/miss
+//! counters are exposed through [`ServiceSession::stats`] and surfaced by
+//! the serving simulator's `ServeReport`.
+//!
+//! The cache is exact, not approximate: the key encodes the full op
+//! sequence (tables, row ids, weight bits, order), and every model's
+//! uncached path is deterministic and stateless across calls, so a hit
+//! returns bit-identical cycles to a re-simulation. Disabling the cache
+//! ([`ServiceSession::set_cache_enabled`]) therefore changes wall-clock
+//! time, never reported cycles — CI byte-compares the two.
+
+use std::collections::HashMap;
+
+use recross_dram::Cycle;
+use recross_workload::Batch;
+
+/// Hit/miss counters of a session's memoized service-time cache.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SessionStats {
+    /// Batches priced from the memo cache.
+    pub hits: u64,
+    /// Batches priced by full simulation (and then memoized).
+    pub misses: u64,
+}
+
+impl SessionStats {
+    /// Hits as a fraction of all serviced batches (0 when none).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// Counter-wise difference (`self` minus an earlier snapshot).
+    pub fn since(&self, earlier: &SessionStats) -> SessionStats {
+        SessionStats {
+            hits: self.hits - earlier.hits,
+            misses: self.misses - earlier.misses,
+        }
+    }
+}
+
+/// A prepared serving session for one accelerator and one table universe.
+///
+/// Obtained from [`EmbeddingAccelerator::open_session`]. The session owns
+/// every table-dependent artifact (layouts, placements, engine
+/// configuration), so [`service`](Self::service) does only per-batch work:
+/// plan the batch's lookups and drive them through the DRAM engine — or
+/// return the memoized cycles for a batch signature it has seen before.
+pub trait ServiceSession {
+    /// Architecture name (matches the owning accelerator's
+    /// [`name`](EmbeddingAccelerator::name)).
+    fn name(&self) -> &str;
+
+    /// Cycles to service one dispatched batch. The batch's `op.table`
+    /// indices refer into the table universe the session was opened for.
+    fn service(&mut self, batch: &Batch) -> Cycle;
+
+    /// Cumulative memo-cache hit/miss counters for this session.
+    fn stats(&self) -> SessionStats;
+
+    /// Enables or disables the service-time memo cache (enabled by
+    /// default). Disabling never changes reported cycles, only wall-clock
+    /// time; already-cached entries are dropped.
+    fn set_cache_enabled(&mut self, enabled: bool);
+}
+
+#[cfg(doc)]
+use crate::accel::EmbeddingAccelerator;
+
+/// Canonical signature of a batch: the exact op sequence as a word stream.
+///
+/// Two batches share a signature iff they are identical (same tables, same
+/// row ids, same weight bits, same order) — order matters because the
+/// engine's command schedule, and therefore the cycle cost, is
+/// order-sensitive.
+pub fn batch_signature(batch: &Batch) -> Vec<u64> {
+    // Worst-case exact encoding; ~3 words per lookup is noise next to a
+    // DRAM-level simulation of the same batch.
+    let words: usize = batch
+        .ops
+        .iter()
+        .map(|op| 2 + op.indices.len() + op.weights.len())
+        .sum();
+    let mut sig = Vec::with_capacity(words);
+    for op in &batch.ops {
+        sig.push(op.table as u64);
+        sig.push(op.indices.len() as u64);
+        sig.extend_from_slice(&op.indices);
+        sig.extend(op.weights.iter().map(|w| u64::from(w.to_bits())));
+    }
+    sig
+}
+
+/// The shared [`ServiceSession`] implementation: a prepared uncached
+/// pricing function plus the exact memo cache.
+///
+/// Every accelerator model builds one of these in `open_session`, moving
+/// its resolved layout/placement state into the `uncached` closure.
+pub struct MemoizedSession {
+    name: String,
+    uncached: Box<dyn FnMut(&Batch) -> Cycle>,
+    cache: HashMap<Vec<u64>, Cycle>,
+    stats: SessionStats,
+    enabled: bool,
+}
+
+impl core::fmt::Debug for MemoizedSession {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("MemoizedSession")
+            .field("name", &self.name)
+            .field("cached_entries", &self.cache.len())
+            .field("stats", &self.stats)
+            .field("enabled", &self.enabled)
+            .finish()
+    }
+}
+
+impl MemoizedSession {
+    /// Wraps a prepared pricing function. `uncached` must be deterministic
+    /// and stateless across calls (identical batch → identical cycles);
+    /// every model's session satisfies this by resetting per-batch state
+    /// (LRU caches, replica round-robins) inside the closure.
+    pub fn new(name: impl Into<String>, uncached: Box<dyn FnMut(&Batch) -> Cycle>) -> Self {
+        Self {
+            name: name.into(),
+            uncached,
+            cache: HashMap::new(),
+            stats: SessionStats::default(),
+            enabled: true,
+        }
+    }
+
+    /// Distinct batch signatures currently memoized.
+    pub fn cached_entries(&self) -> usize {
+        self.cache.len()
+    }
+}
+
+impl ServiceSession for MemoizedSession {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn service(&mut self, batch: &Batch) -> Cycle {
+        if !self.enabled {
+            self.stats.misses += 1;
+            return (self.uncached)(batch);
+        }
+        let sig = batch_signature(batch);
+        if let Some(&cycles) = self.cache.get(&sig) {
+            self.stats.hits += 1;
+            return cycles;
+        }
+        let cycles = (self.uncached)(batch);
+        self.cache.insert(sig, cycles);
+        self.stats.misses += 1;
+        cycles
+    }
+
+    fn stats(&self) -> SessionStats {
+        self.stats
+    }
+
+    fn set_cache_enabled(&mut self, enabled: bool) {
+        self.enabled = enabled;
+        if !enabled {
+            self.cache.clear();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::accel::EmbeddingAccelerator;
+    use crate::cpu::CpuBaseline;
+    use crate::fafnir::Fafnir;
+    use crate::recnmp::RecNmp;
+    use crate::tensordimm::TensorDimm;
+    use crate::trim::Trim;
+    use recross_dram::DramConfig;
+    use recross_workload::{Trace, TraceGenerator};
+
+    fn trace() -> Trace {
+        TraceGenerator::criteo_scaled(64, 1000)
+            .batch_size(2)
+            .pooling(8)
+            .batches(3)
+            .generate(11)
+    }
+
+    /// The session's uncached path must price a batch exactly as the
+    /// offline API prices the equivalent single-batch trace — for every
+    /// model.
+    #[test]
+    fn session_matches_offline_single_batch_run() {
+        let t = trace();
+        let d = DramConfig::ddr5_4800();
+        let models: Vec<Box<dyn EmbeddingAccelerator>> = vec![
+            Box::new(CpuBaseline::new(d.clone())),
+            Box::new(CpuBaseline::new(d.clone()).with_llc_bytes(32 * 1024 * 1024)),
+            Box::new(TensorDimm::new(d.clone())),
+            Box::new(RecNmp::new(d.clone())),
+            Box::new(Trim::bank_group(d.clone())),
+            Box::new(Trim::bank(d.clone())),
+            Box::new(Fafnir::new(d.clone())),
+        ];
+        for mut model in models {
+            let mut session = model.open_session(&t.tables);
+            for batch in &t.batches {
+                let single = Trace {
+                    tables: t.tables.clone(),
+                    batches: vec![batch.clone()],
+                };
+                let want = model.run(&single).cycles;
+                let got = session.service(batch);
+                assert_eq!(got, want, "{}: session vs offline run", session.name());
+            }
+        }
+    }
+
+    #[test]
+    fn memo_cache_accounting_is_exact() {
+        let t = trace();
+        let mut session =
+            CpuBaseline::new(DramConfig::ddr5_4800()).open_session(&t.tables);
+        assert_eq!(session.stats(), SessionStats::default());
+        let first = session.service(&t.batches[0]);
+        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 1 });
+        let again = session.service(&t.batches[0]);
+        assert_eq!(again, first, "memo hit returns identical cycles");
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 1 });
+        let other = session.service(&t.batches[1]);
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 2 });
+        assert_ne!(
+            batch_signature(&t.batches[0]),
+            batch_signature(&t.batches[1]),
+            "distinct batches must have distinct signatures"
+        );
+        // Disabling drops entries and prices uncached, same cycles.
+        session.set_cache_enabled(false);
+        assert_eq!(session.service(&t.batches[1]), other);
+        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 3 });
+    }
+
+    #[test]
+    fn signature_is_order_sensitive() {
+        let t = trace();
+        let mut swapped = t.batches[0].clone();
+        if swapped.ops.len() >= 2 {
+            swapped.ops.swap(0, 1);
+            assert_ne!(batch_signature(&t.batches[0]), batch_signature(&swapped));
+        }
+    }
+
+    #[test]
+    fn stats_since_subtracts() {
+        let a = SessionStats { hits: 5, misses: 7 };
+        let b = SessionStats { hits: 2, misses: 3 };
+        assert_eq!(a.since(&b), SessionStats { hits: 3, misses: 4 });
+        assert!((a.hit_rate() - 5.0 / 12.0).abs() < 1e-12);
+        assert_eq!(SessionStats::default().hit_rate(), 0.0);
+    }
+}

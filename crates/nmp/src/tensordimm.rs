@@ -10,14 +10,15 @@
 use recross_dram::controller::BusScope;
 use recross_dram::DramConfig;
 use recross_workload::model::embedding_value;
-use recross_workload::{EmbeddingTableSpec, Trace};
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 use crate::accel::{EmbeddingAccelerator, RunReport};
 use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
 use crate::layout::TableLayout;
+use crate::session::{MemoizedSession, ServiceSession};
 
 /// TensorDIMM accelerator model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct TensorDimm {
     dram: DramConfig,
 }
@@ -37,15 +38,11 @@ impl TensorDimm {
             * u64::from(self.dram.topology.burst_bytes)
     }
 
-    /// Builds the per-lookup placement plans (public for the
-    /// benchmark harness and custom engine configurations).
-    pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
-        let topo = self.dram.topology;
-        let ranks = topo.ranks;
-        // One per-rank layout: each rank holds a sliced copy of the whole
-        // table set (slices are addressed identically within every rank).
-        let sliced: Vec<EmbeddingTableSpec> = trace
-            .tables
+    /// The intra-rank layout: each rank holds a sliced copy of the whole
+    /// table set (slices are addressed identically within every rank), so
+    /// a single-rank view gives every rank's addressing.
+    fn rank_layout(&self, tables: &[EmbeddingTableSpec]) -> TableLayout {
+        let sliced: Vec<EmbeddingTableSpec> = tables
             .iter()
             .map(|t| {
                 let slice = self.slice_bytes(t) as u32;
@@ -56,10 +53,20 @@ impl TensorDimm {
                 }
             })
             .collect();
-        // Use a single-rank view for intra-rank addressing.
-        let mut rank_topo = topo;
+        let mut rank_topo = self.dram.topology;
         rank_topo.ranks = 1;
-        let layout = TableLayout::pack(rank_topo, &sliced, 0);
+        TableLayout::pack(rank_topo, &sliced, 0)
+    }
+
+    /// Builds the per-lookup placement plans (public for the
+    /// benchmark harness and custom engine configurations).
+    pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
+        Self::plans_prepared(&self.rank_layout(&trace.tables), self.dram.topology.ranks, trace)
+    }
+
+    /// [`plans`](Self::plans) with the per-rank layout already resolved —
+    /// the per-batch half, shared with [`open_session`]'s prepared path.
+    fn plans_prepared(layout: &TableLayout, ranks: u32, trace: &Trace) -> Vec<LookupPlan> {
         let mut plans = Vec::with_capacity(trace.lookups());
         for (op_idx, op) in trace.iter_ops().enumerate() {
             for &row in &op.indices {
@@ -103,6 +110,25 @@ impl EmbeddingAccelerator for TensorDimm {
             self.dram.topology.ranks as usize,
         );
         execute(&cfg, trace, &plans)
+    }
+
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
+        let layout = self.rank_layout(tables);
+        let ranks = self.dram.topology.ranks;
+        let cfg = EngineConfig::nmp("TensorDIMM", self.dram.clone(), ranks as usize);
+        let mut trace = Trace {
+            tables: tables.to_vec(),
+            batches: Vec::new(),
+        };
+        Box::new(MemoizedSession::new(
+            "TensorDIMM",
+            Box::new(move |batch: &Batch| {
+                trace.batches.clear();
+                trace.batches.push(batch.clone());
+                let plans = Self::plans_prepared(&layout, ranks, &trace);
+                execute(&cfg, &trace, &plans).cycles
+            }),
+        ))
     }
 
     fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>> {

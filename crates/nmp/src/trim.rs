@@ -10,12 +10,13 @@
 use recross_dram::controller::BusScope;
 use recross_dram::DramConfig;
 use recross_workload::model::reduce_trace;
-use recross_workload::Trace;
+use recross_workload::{Batch, EmbeddingTableSpec, Trace};
 
 use crate::accel::{EmbeddingAccelerator, RunReport};
 use crate::engine::{execute, EngineConfig, LookupPlan, PlacedRead};
 use crate::layout::{slot_to_addr, TableLayout};
 use crate::profile::AccessProfile;
+use crate::session::{MemoizedSession, ServiceSession};
 use std::collections::HashMap;
 
 /// Which TRiM variant.
@@ -28,7 +29,7 @@ pub enum TrimLevel {
 }
 
 /// TRiM accelerator model.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct Trim {
     dram: DramConfig,
     level: TrimLevel,
@@ -107,14 +108,10 @@ impl Trim {
         }
     }
 
-    /// Builds the per-lookup placement plans (public for the
-    /// benchmark harness and custom engine configurations).
-    pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
-        let topo = self.dram.topology;
-        let layout = TableLayout::pack(topo, &trace.tables, 0);
-        // Hot-entry replica directory: (table, row) -> replica slot base.
-        // Replicas live in the slots right after the packed tables, one
-        // DRAM-row-slot stride per replica so copies land on distinct banks.
+    /// Hot-entry replica directory: (table, row) -> replica slot base.
+    /// Replicas live in the slots right after the packed tables, one
+    /// DRAM-row-slot stride per replica so copies land on distinct banks.
+    fn hot_directory(&self) -> HashMap<(usize, u64), u64> {
         let mut hot: HashMap<(usize, u64), u64> = HashMap::new();
         if let Some(p) = &self.profile {
             if self.replication > 0.0 {
@@ -124,6 +121,28 @@ impl Trim {
                 }
             }
         }
+        hot
+    }
+
+    /// Builds the per-lookup placement plans (public for the
+    /// benchmark harness and custom engine configurations).
+    pub fn plans(&self, trace: &Trace) -> Vec<LookupPlan> {
+        let layout = TableLayout::pack(self.dram.topology, &trace.tables, 0);
+        self.plans_prepared(&layout, &self.hot_directory(), trace)
+    }
+
+    /// [`plans`](Self::plans) with the layout and replica directory
+    /// already resolved — the per-batch half, shared with
+    /// [`open_session`]'s prepared path. The replica round-robin counter
+    /// starts at zero on every call (per-call semantics keep the serving
+    /// memo cache exact).
+    fn plans_prepared(
+        &self,
+        layout: &TableLayout,
+        hot: &HashMap<(usize, u64), u64>,
+        trace: &Trace,
+    ) -> Vec<LookupPlan> {
+        let topo = self.dram.topology;
         let replica_base = layout.total_slots();
         let replicas = u64::from(self.replicas);
         let mut rr_counter = 0u64;
@@ -167,6 +186,26 @@ impl EmbeddingAccelerator for Trim {
         let plans = self.plans(trace);
         let cfg = EngineConfig::nmp(self.level_name(), self.dram.clone(), self.num_nodes());
         execute(&cfg, trace, &plans)
+    }
+
+    fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
+        let layout = TableLayout::pack(self.dram.topology, tables, 0);
+        let hot = self.hot_directory();
+        let cfg = EngineConfig::nmp(self.level_name(), self.dram.clone(), self.num_nodes());
+        let model = self.clone();
+        let mut trace = Trace {
+            tables: tables.to_vec(),
+            batches: Vec::new(),
+        };
+        Box::new(MemoizedSession::new(
+            self.level_name(),
+            Box::new(move |batch: &Batch| {
+                trace.batches.clear();
+                trace.batches.push(batch.clone());
+                let plans = model.plans_prepared(&layout, &hot, &trace);
+                execute(&cfg, &trace, &plans).cycles
+            }),
+        ))
     }
 
     fn compute_results(&mut self, trace: &Trace) -> Vec<Vec<f32>> {

@@ -13,15 +13,21 @@
 //!   requests, deterministically from a seed;
 //! * [`batch`] — a bounded size-or-timeout batching queue with FIFO or
 //!   shortest-job-first dequeue and tail-drop load shedding;
-//! * [`sim`] — a discrete-event loop running one server (queue +
-//!   accelerator) per memory channel, sharded by
+//! * [`sim`] — a discrete-event loop running one server (queue + prepared
+//!   accelerator [`ServiceSession`](recross_nmp::session::ServiceSession))
+//!   per memory channel, sharded by
 //!   [`recross_nmp::multichannel::ChannelPlan`], charging each dispatched
-//!   batch its cycle-accurate
-//!   [`service_time`](recross_nmp::accel::EmbeddingAccelerator::service_time);
+//!   batch its cycle-accurate session
+//!   [`service`](recross_nmp::session::ServiceSession::service) time;
+//!   sessions opened once ([`open_sessions`]) carry their resolved layout
+//!   state and memoized service times across runs;
+//! * [`slo`] — a closed-loop SLO throughput search: deterministic
+//!   bisection over offered QPS for the highest rate whose p99 latency
+//!   meets a bound with nothing shed, emitting a JSON [`SloReport`];
 //! * [`hist`] / [`report`] — a mergeable log-scale latency histogram
 //!   (p50…p999 within ~3 % relative error) and a JSON [`ServeReport`]
-//!   with goodput, shed rate, queue-depth series, and per-channel
-//!   utilization.
+//!   with goodput, shed rate, queue-depth series, service-cache hit rate,
+//!   and per-channel utilization.
 //!
 //! Everything is integer cycles and in-repo PRNG, so identical seeds give
 //! byte-identical reports on any platform.
@@ -60,9 +66,11 @@ pub mod batch;
 pub mod hist;
 pub mod report;
 pub mod sim;
+pub mod slo;
 
 pub use arrival::ArrivalProcess;
 pub use batch::{Batcher, BatcherConfig, QueuePolicy, QueuedJob};
 pub use hist::LatencyHistogram;
 pub use report::{ChannelReport, ServeReport};
-pub use sim::simulate;
+pub use sim::{open_sessions, simulate, simulate_sessions};
+pub use slo::{search as slo_search, SloProbe, SloReport};

@@ -6,6 +6,7 @@
 //! same seed produce byte-identical report files (checked in CI).
 
 use recross_dram::Cycle;
+use recross_nmp::session::SessionStats;
 
 use crate::hist::LatencyHistogram;
 
@@ -44,6 +45,11 @@ pub struct ServeReport {
     pub depth_series: Vec<u64>,
     /// Per-channel server statistics.
     pub channels: Vec<ChannelReport>,
+    /// Service-time memo cache hits/misses across all channels' sessions,
+    /// counting only this run (see `ServiceSession::stats`). The cache is
+    /// exact, so these counters are the only report fields that can differ
+    /// between cache-enabled and cache-disabled runs.
+    pub service_cache: SessionStats,
 }
 
 impl ServeReport {
@@ -74,6 +80,12 @@ impl ServeReport {
     /// Converts a cycle count to microseconds.
     pub fn cycles_to_us(&self, cycles: u64) -> f64 {
         cycles as f64 * 1e6 / self.cycles_per_sec
+    }
+
+    /// Fraction of dispatched batches priced from the service-time memo
+    /// cache this run (0 when nothing was dispatched).
+    pub fn cache_hit_rate(&self) -> f64 {
+        self.service_cache.hit_rate()
     }
 
     /// Largest sampled total queue depth.
@@ -132,6 +144,7 @@ impl ServeReport {
                 "\"latency\":{{\"mean_us\":{},\"p50\":{},\"p90\":{},",
                 "\"p95\":{},\"p99\":{},\"p999\":{},\"max\":{}}},",
                 "\"queue_depth\":{{\"mean\":{},\"max\":{},\"series\":[{}]}},",
+                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
                 "\"channels\":[{}]}}"
             ),
             json_string(&self.name),
@@ -152,6 +165,9 @@ impl ServeReport {
             fmt_f64(self.mean_depth()),
             self.max_depth(),
             depth.join(","),
+            self.service_cache.hits,
+            self.service_cache.misses,
+            fmt_f64(self.cache_hit_rate()),
             channels.join(",")
         )
     }
@@ -215,6 +231,7 @@ mod tests {
                 dispatches: 2,
                 shed: 1,
             }],
+            service_cache: SessionStats { hits: 1, misses: 1 },
         }
     }
 
@@ -249,6 +266,7 @@ mod tests {
             "\"goodput_qps\":",
             "\"p99\":",
             "\"queue_depth\":",
+            "\"service_cache\":{\"hits\":1,\"misses\":1,\"hit_rate\":0.5}",
             "\"channels\":",
         ] {
             assert!(a.contains(key), "missing {key} in {a}");

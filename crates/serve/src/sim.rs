@@ -1,17 +1,25 @@
 //! The event-driven serving simulator.
 //!
 //! One server per memory channel (channels are independent in DDR — see
-//! `recross_nmp::multichannel`): each channel owns a batching queue and an
-//! accelerator instance, requests are sharded across channels by the table
-//! partition ([`ChannelPlan`]), and a request completes when its last
-//! channel part does. The loop is a textbook discrete-event simulation —
-//! two event sources (next arrival, next batch trigger), always advance the
-//! earlier — and everything is integer cycles, so runs are exactly
-//! reproducible.
+//! `recross_nmp::multichannel`): each channel owns a batching queue and a
+//! prepared accelerator [`ServiceSession`], requests are sharded across
+//! channels by the table partition ([`ChannelPlan`]), and a request
+//! completes when its last channel part does. The loop is a textbook
+//! discrete-event simulation — two event sources (next arrival, next batch
+//! trigger), always advance the earlier — and everything is integer
+//! cycles, so runs are exactly reproducible.
+//!
+//! Sessions are opened once per channel ([`open_sessions`]) and can be
+//! reused across many [`simulate_sessions`] runs over the same trace and
+//! plan — that is what makes a QPS sweep or an SLO search affordable: the
+//! session keeps its resolved layout/placement state *and* its memoized
+//! service-time cache across runs, so a batch composition priced at one
+//! offered rate is free at every other rate.
 
 use recross_dram::Cycle;
 use recross_nmp::accel::EmbeddingAccelerator;
 use recross_nmp::multichannel::ChannelPlan;
+use recross_nmp::session::{ServiceSession, SessionStats};
 use recross_workload::{Batch, Trace};
 
 use crate::batch::{Batcher, BatcherConfig, QueuedJob};
@@ -29,19 +37,22 @@ struct ChannelOutcome {
     shed: u64,
     /// Queue depth sampled after each arrival (aligned across channels).
     depth_after_arrival: Vec<usize>,
+    /// Service-time memo cache hits/misses charged during this run.
+    cache: SessionStats,
 }
 
 /// Simulates one channel: `sub` is the per-channel trace with **one batch
 /// per request** (possibly empty when the request touches no table on this
 /// channel — those complete at their arrival instant, costing nothing).
-fn simulate_channel<A: EmbeddingAccelerator>(
+fn simulate_channel(
     sub: &Trace,
     arrivals: &[Cycle],
     cfg: BatcherConfig,
-    accel: &mut A,
+    session: &mut dyn ServiceSession,
 ) -> ChannelOutcome {
     let n = arrivals.len();
     assert_eq!(sub.batches.len(), n, "one request per batch");
+    let stats_before = session.stats();
     let mut batcher = Batcher::new(cfg);
     let mut completions: Vec<Option<Cycle>> = vec![None; n];
     let mut depth_after_arrival = Vec::with_capacity(n);
@@ -85,7 +96,7 @@ fn simulate_channel<A: EmbeddingAccelerator>(
                     .flat_map(|j| sub.batches[j.id].ops.iter().cloned())
                     .collect(),
             };
-            let service = accel.service_time(&sub.tables, &merged);
+            let service = session.service(&merged);
             let done = td + service;
             for j in &jobs {
                 completions[j.id] = Some(done);
@@ -102,17 +113,92 @@ fn simulate_channel<A: EmbeddingAccelerator>(
         dispatches,
         shed: batcher.shed(),
         depth_after_arrival,
+        cache: session.stats().since(&stats_before),
     }
 }
 
-/// Runs the full serving simulation: shards `trace` (one batch = one
-/// request) across `plan.channels()` servers, feeds each the same arrival
-/// sequence, and merges per-channel outcomes into a [`ServeReport`].
+/// Opens one [`ServiceSession`] per channel of `plan` over `trace`: `make`
+/// builds the accelerator for a channel from its id and sub-trace (same
+/// contract as [`recross_nmp::multichannel::run_multichannel`]), and each
+/// accelerator's session is prepared for that channel's table universe.
 ///
-/// `make` builds the accelerator for a channel from its id and sub-trace
-/// (same contract as [`recross_nmp::multichannel::run_multichannel`]).
+/// The sessions can then serve any number of [`simulate_sessions`] runs
+/// over the same `(trace, plan)` pair.
+pub fn open_sessions<A, F>(
+    trace: &Trace,
+    plan: &ChannelPlan,
+    mut make: F,
+) -> Vec<Box<dyn ServiceSession>>
+where
+    A: EmbeddingAccelerator,
+    F: FnMut(usize, &Trace) -> A,
+{
+    plan.split(trace)
+        .into_iter()
+        .enumerate()
+        .map(|(ch, (sub, _orig))| make(ch, &sub).open_session(&sub.tables))
+        .collect()
+}
+
+/// Runs the full serving simulation against prepared per-channel sessions:
+/// shards `trace` (one batch = one request) across `plan.channels()`
+/// servers, feeds each the same arrival sequence, and merges per-channel
+/// outcomes into a [`ServeReport`].
+///
+/// `sessions` must have been opened via [`open_sessions`] (or equivalent)
+/// for the **same** `trace` and `plan`; it is borrowed mutably so the same
+/// sessions — including their memoized service times — carry over to the
+/// next run. The report's cache counters cover only this run.
+///
 /// A request is **shed** if any channel's queue dropped its part;
 /// otherwise its latency is `max(channel completion) − arrival`.
+///
+/// # Panics
+///
+/// Panics if `arrivals` is not nondecreasing, its length differs from the
+/// number of request batches in `trace`, or `sessions` does not hold one
+/// session per channel.
+pub fn simulate_sessions(
+    name: &str,
+    trace: &Trace,
+    plan: &ChannelPlan,
+    arrivals: &[Cycle],
+    cfg: BatcherConfig,
+    cycles_per_sec: f64,
+    sessions: &mut [Box<dyn ServiceSession>],
+) -> ServeReport {
+    assert_eq!(
+        arrivals.len(),
+        trace.batches.len(),
+        "one arrival per request batch"
+    );
+    assert!(
+        arrivals.windows(2).all(|w| w[0] <= w[1]),
+        "arrivals must be nondecreasing"
+    );
+    assert_eq!(
+        sessions.len(),
+        plan.channels(),
+        "one session per channel (see open_sessions)"
+    );
+
+    let mut outcomes = Vec::with_capacity(plan.channels());
+    for (ch, (sub, _orig)) in plan.split(trace).into_iter().enumerate() {
+        outcomes.push(simulate_channel(
+            &sub,
+            arrivals,
+            cfg,
+            sessions[ch].as_mut(),
+        ));
+    }
+    ServeReport::from_outcomes(name, arrivals, cycles_per_sec, &outcomes)
+}
+
+/// One-shot convenience: opens fresh sessions via [`open_sessions`] and
+/// runs [`simulate_sessions`] once. Prefer holding the sessions yourself
+/// when running several loads over the same trace (sweeps, SLO searches) —
+/// reuse is where the per-session preparation and the memoized service
+/// times pay off.
 ///
 /// # Panics
 ///
@@ -125,28 +211,14 @@ pub fn simulate<A, F>(
     arrivals: &[Cycle],
     cfg: BatcherConfig,
     cycles_per_sec: f64,
-    mut make: F,
+    make: F,
 ) -> ServeReport
 where
     A: EmbeddingAccelerator,
     F: FnMut(usize, &Trace) -> A,
 {
-    assert_eq!(
-        arrivals.len(),
-        trace.batches.len(),
-        "one arrival per request batch"
-    );
-    assert!(
-        arrivals.windows(2).all(|w| w[0] <= w[1]),
-        "arrivals must be nondecreasing"
-    );
-
-    let mut outcomes = Vec::with_capacity(plan.channels());
-    for (ch, (sub, _orig)) in plan.split(trace).into_iter().enumerate() {
-        let mut accel = make(ch, &sub);
-        outcomes.push(simulate_channel(&sub, arrivals, cfg, &mut accel));
-    }
-    ServeReport::from_outcomes(name, arrivals, cycles_per_sec, &outcomes)
+    let mut sessions = open_sessions(trace, plan, make);
+    simulate_sessions(name, trace, plan, arrivals, cfg, cycles_per_sec, &mut sessions)
 }
 
 impl ServeReport {
@@ -198,6 +270,11 @@ impl ServeReport {
                 shed: o.shed,
             })
             .collect();
+        let mut service_cache = SessionStats::default();
+        for o in outcomes {
+            service_cache.hits += o.cache.hits;
+            service_cache.misses += o.cache.misses;
+        }
         let arrival_span_s = arrivals.last().copied().unwrap_or(0) as f64 / cycles_per_sec;
         ServeReport {
             name: name.to_string(),
@@ -213,6 +290,103 @@ impl ServeReport {
             latency: hist,
             depth_series,
             channels,
+            service_cache,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recross_dram::DramConfig;
+    use recross_nmp::cpu::CpuBaseline;
+    use recross_workload::TraceGenerator;
+
+    fn serving_setup() -> (Trace, ChannelPlan, Vec<Cycle>, BatcherConfig, f64) {
+        let dram = DramConfig::ddr5_4800();
+        let trace = TraceGenerator::criteo_scaled(32, 200)
+            .batch_size(1)
+            .pooling(8)
+            .batches(24)
+            .generate(13)
+;
+        let plan = ChannelPlan::balance_by_load(&trace, 2);
+        let arrivals = crate::arrival::ArrivalProcess::poisson(40_000.0).timestamps(
+            trace.batches.len(),
+            dram.cycles_per_sec(),
+            13,
+        );
+        (trace, plan, arrivals, BatcherConfig::default(), dram.cycles_per_sec())
+    }
+
+    /// The memoized service-time cache is an exact cache: the same seed
+    /// yields byte-identical reports with the cache enabled and disabled
+    /// (the only divergence is the hit/miss accounting itself, which the
+    /// comparison normalizes away after asserting it exactly).
+    #[test]
+    fn cache_on_and_off_reports_are_byte_identical() {
+        let (trace, plan, arrivals, cfg, cps) = serving_setup();
+        let dram = DramConfig::ddr5_4800();
+        let make = |_: usize, _: &Trace| CpuBaseline::new(dram.clone());
+
+        let mut cached = open_sessions(&trace, &plan, make);
+        let mut uncached = open_sessions(&trace, &plan, make);
+        for s in uncached.iter_mut() {
+            s.set_cache_enabled(false);
+        }
+
+        // Two consecutive runs per variant: the second run is where the
+        // cached sessions replay memoized service times.
+        let run =
+            |s: &mut Vec<Box<dyn ServiceSession>>| {
+                simulate_sessions("CPU", &trace, &plan, &arrivals, cfg, cps, s)
+            };
+        let (a1, a2) = (run(&mut cached), run(&mut cached));
+        let (b1, b2) = (run(&mut uncached), run(&mut uncached));
+
+        // Exact accounting: every dispatch is a miss on the first cached
+        // run, a hit on the identical replay; the uncached sessions only
+        // ever miss.
+        let dispatches: u64 = a1.channels.iter().map(|c| c.dispatches).sum();
+        assert_eq!(a1.service_cache.hits, 0);
+        assert_eq!(a1.service_cache.misses, dispatches);
+        assert_eq!(a2.service_cache.hits, dispatches);
+        assert_eq!(a2.service_cache.misses, 0);
+        assert_eq!(b1.service_cache.hits, 0);
+        assert_eq!(b1.service_cache.misses, dispatches);
+        assert_eq!(b2.service_cache, b1.service_cache);
+        assert!((a1.cache_hit_rate() - 0.0).abs() < 1e-12);
+        assert!((a2.cache_hit_rate() - 1.0).abs() < 1e-12);
+
+        // Byte-identical modulo the declared accounting fields.
+        let mut a1n = a1.clone();
+        let mut a2n = a2.clone();
+        a1n.service_cache = b1.service_cache;
+        a2n.service_cache = b2.service_cache;
+        assert_eq!(a1n.to_json(), b1.to_json());
+        assert_eq!(a2n.to_json(), b2.to_json());
+    }
+
+    /// The one-shot `simulate` wrapper and explicitly managed sessions
+    /// agree: the wrapper is just open-then-run.
+    #[test]
+    fn simulate_wrapper_matches_explicit_sessions() {
+        let (trace, plan, arrivals, cfg, cps) = serving_setup();
+        let dram = DramConfig::ddr5_4800();
+        let wrapped = simulate("CPU", &trace, &plan, &arrivals, cfg, cps, |_, _| {
+            CpuBaseline::new(dram.clone())
+        });
+        let mut sessions =
+            open_sessions(&trace, &plan, |_, _| CpuBaseline::new(dram.clone()));
+        let explicit =
+            simulate_sessions("CPU", &trace, &plan, &arrivals, cfg, cps, &mut sessions);
+        assert_eq!(wrapped.to_json(), explicit.to_json());
+    }
+
+    #[test]
+    #[should_panic(expected = "one session per channel")]
+    fn session_count_validated() {
+        let (trace, plan, arrivals, cfg, cps) = serving_setup();
+        simulate_sessions("CPU", &trace, &plan, &arrivals, cfg, cps, &mut []);
     }
 }

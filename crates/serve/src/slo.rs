@@ -1,0 +1,332 @@
+//! Closed-loop SLO throughput search.
+//!
+//! Production capacity planning asks the inverse of a QPS sweep: not "what
+//! is the tail latency at this offered load" but "what is the highest
+//! offered load whose tail latency still meets the SLO". [`search`]
+//! answers it with a deterministic bisection over offered QPS: each probe
+//! runs a full serving simulation ([`crate::sim::simulate_sessions`] via
+//! the caller-supplied closure), a rate **meets** the SLO when the run
+//! shed nothing and its p99 latency is within the bound, and the bracket
+//! halves a fixed number of times — so the same seed converges to the
+//! same rate, bit for bit, every run (checked in CI).
+//!
+//! The probe closure is where the [`ServiceSession`] API pays off: every
+//! probe replays the same request set at a different rate, so sessions
+//! opened once serve all probes and later probes price most batch
+//! compositions straight from the memo cache.
+//!
+//! [`ServiceSession`]: recross_nmp::session::ServiceSession
+
+use recross_nmp::session::SessionStats;
+
+use crate::report::{fmt_f64, json_string, ServeReport};
+
+/// One evaluated rate of an SLO search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloProbe {
+    /// Offered rate evaluated (requests/s).
+    pub qps: f64,
+    /// Whether the rate met the SLO (no shed, p99 within bound).
+    pub met: bool,
+    /// Measured p99 latency in microseconds.
+    pub p99_us: f64,
+    /// Requests shed at this rate.
+    pub shed: u64,
+    /// Service-time memo cache counters of this probe's run.
+    pub cache: SessionStats,
+}
+
+/// Outcome of one architecture's SLO throughput search.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SloReport {
+    /// Architecture name (e.g. `"ReCross"`).
+    pub arch: String,
+    /// The p99 latency bound, microseconds.
+    pub slo_p99_us: f64,
+    /// Initial bracket low end (requests/s).
+    pub bracket_lo_qps: f64,
+    /// Initial bracket high end (requests/s).
+    pub bracket_hi_qps: f64,
+    /// Bisection iterations performed (excludes the two bracket probes).
+    pub iterations: u32,
+    /// Highest probed rate that met the SLO; `0` when even the bracket's
+    /// low end missed it.
+    pub max_qps: f64,
+    /// Every evaluated rate, in probe order.
+    pub probes: Vec<SloProbe>,
+}
+
+impl SloReport {
+    /// Service-cache counters summed over all probes.
+    pub fn cache_total(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for p in &self.probes {
+            total.hits += p.cache.hits;
+            total.misses += p.cache.misses;
+        }
+        total
+    }
+
+    /// The report as a JSON object string (no trailing newline).
+    pub fn to_json(&self) -> String {
+        let probes: Vec<String> = self
+            .probes
+            .iter()
+            .map(|p| {
+                format!(
+                    concat!(
+                        "{{\"qps\":{},\"met\":{},\"p99_us\":{},\"shed\":{},",
+                        "\"cache\":{{\"hits\":{},\"misses\":{}}}}}"
+                    ),
+                    fmt_f64(p.qps),
+                    p.met,
+                    fmt_f64(p.p99_us),
+                    p.shed,
+                    p.cache.hits,
+                    p.cache.misses
+                )
+            })
+            .collect();
+        let total = self.cache_total();
+        format!(
+            concat!(
+                "{{\"arch\":{},\"slo_p99_us\":{},",
+                "\"bracket_qps\":[{},{}],\"iterations\":{},",
+                "\"max_qps\":{},",
+                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
+                "\"probes\":[{}]}}"
+            ),
+            json_string(&self.arch),
+            fmt_f64(self.slo_p99_us),
+            fmt_f64(self.bracket_lo_qps),
+            fmt_f64(self.bracket_hi_qps),
+            self.iterations,
+            fmt_f64(self.max_qps),
+            total.hits,
+            total.misses,
+            fmt_f64(total.hit_rate()),
+            probes.join(",")
+        )
+    }
+}
+
+/// Extracts the SLO verdict from one serving run.
+fn judge(report: &ServeReport, slo_p99_us: f64, qps: f64) -> SloProbe {
+    let p99_cycles = report.latency.quantile(0.99);
+    let p99_us = report.cycles_to_us(p99_cycles);
+    SloProbe {
+        qps,
+        met: report.shed == 0 && p99_us <= slo_p99_us,
+        p99_us,
+        shed: report.shed,
+        cache: report.service_cache,
+    }
+}
+
+/// Finds the highest offered QPS meeting a p99 latency SLO by bisection.
+///
+/// `probe` runs one serving simulation at the given offered rate and
+/// returns its [`ServeReport`]; a rate meets the SLO when the run shed no
+/// requests and its p99 latency is at most `slo_p99_us` microseconds.
+///
+/// The search first evaluates both bracket ends, then runs exactly
+/// `iterations` bisection steps on `[lo, hi]` (skipped when the bracket
+/// ends already decide the answer: `lo` failing means capacity is below
+/// the bracket and `max_qps` is 0; `hi` passing means capacity is above
+/// it and `max_qps` is `hi`). With `probe` deterministic in its rate, the
+/// whole search — probe sequence included — is deterministic.
+///
+/// # Panics
+///
+/// Panics unless `0 < lo < hi` and both are finite.
+pub fn search<F>(
+    arch: &str,
+    slo_p99_us: f64,
+    lo: f64,
+    hi: f64,
+    iterations: u32,
+    mut probe: F,
+) -> SloReport
+where
+    F: FnMut(f64) -> ServeReport,
+{
+    assert!(
+        lo.is_finite() && hi.is_finite() && 0.0 < lo && lo < hi,
+        "SLO search bracket must satisfy 0 < lo < hi, got [{lo}, {hi}]"
+    );
+    assert!(
+        slo_p99_us.is_finite() && slo_p99_us > 0.0,
+        "SLO bound must be a positive latency, got {slo_p99_us}"
+    );
+    let mut probes = Vec::with_capacity(iterations as usize + 2);
+    let mut eval = |qps: f64, probes: &mut Vec<SloProbe>| -> bool {
+        let p = judge(&probe(qps), slo_p99_us, qps);
+        let met = p.met;
+        probes.push(p);
+        met
+    };
+
+    let lo_met = eval(lo, &mut probes);
+    if !lo_met {
+        return SloReport {
+            arch: arch.to_string(),
+            slo_p99_us,
+            bracket_lo_qps: lo,
+            bracket_hi_qps: hi,
+            iterations: 0,
+            max_qps: 0.0,
+            probes,
+        };
+    }
+    let hi_met = eval(hi, &mut probes);
+    if hi_met {
+        return SloReport {
+            arch: arch.to_string(),
+            slo_p99_us,
+            bracket_lo_qps: lo,
+            bracket_hi_qps: hi,
+            iterations: 0,
+            max_qps: hi,
+            probes,
+        };
+    }
+
+    // Invariant: `best` met, `worst` did not.
+    let (mut best, mut worst) = (lo, hi);
+    for _ in 0..iterations {
+        let mid = 0.5 * (best + worst);
+        if eval(mid, &mut probes) {
+            best = mid;
+        } else {
+            worst = mid;
+        }
+    }
+    SloReport {
+        arch: arch.to_string(),
+        slo_p99_us,
+        bracket_lo_qps: lo,
+        bracket_hi_qps: hi,
+        iterations,
+        max_qps: best,
+        probes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hist::LatencyHistogram;
+    use crate::report::ChannelReport;
+
+    /// A fake serving run: p99 latency grows linearly with offered rate
+    /// and the queue sheds past a hard capacity.
+    fn fake_run(qps: f64, capacity: f64) -> ServeReport {
+        let cycles_per_sec = 2.4e9;
+        let p99_us = 10.0 + qps / 1000.0;
+        let mut latency = LatencyHistogram::new();
+        latency.record((p99_us * 1e-6 * cycles_per_sec) as u64);
+        ServeReport {
+            name: "fake".into(),
+            requests: 100,
+            shed: if qps > capacity { 7 } else { 0 },
+            makespan_cycles: 1_000_000,
+            cycles_per_sec,
+            offered_qps: qps,
+            latency,
+            depth_series: vec![0],
+            channels: vec![ChannelReport {
+                busy_cycles: 0,
+                utilization: 0.0,
+                dispatches: 1,
+                shed: 0,
+            }],
+            service_cache: SessionStats { hits: 2, misses: 3 },
+        }
+    }
+
+    #[test]
+    fn converges_to_latency_bound() {
+        // p99(q) = 10 + q/1000 µs; bound 50 µs → capacity 40 000 qps
+        // (shedding capacity far above, so latency binds).
+        let r = search("fake", 50.0, 1_000.0, 100_000.0, 20, |q| {
+            fake_run(q, 1e12)
+        });
+        // The log-scale histogram quantizes latencies within ~3 %, which
+        // shifts the apparent latency knee by a few percent of QPS.
+        assert!(
+            (r.max_qps - 40_000.0).abs() < 40_000.0 * 0.05,
+            "bisection converged near capacity: {}",
+            r.max_qps
+        );
+        assert_eq!(r.probes.len(), 22, "2 bracket probes + 20 bisections");
+        assert!(r.probes[0].met && !r.probes[1].met);
+        assert_eq!(r.cache_total(), SessionStats { hits: 44, misses: 66 });
+    }
+
+    #[test]
+    fn shedding_binds_before_latency() {
+        // Latency alone would allow 40 000 qps, but the queue sheds past
+        // 20 000 — shed == 0 is part of "meets".
+        let r = search("fake", 50.0, 1_000.0, 100_000.0, 20, |q| {
+            fake_run(q, 20_000.0)
+        });
+        assert!(r.max_qps <= 20_000.0);
+        assert!((r.max_qps - 20_000.0).abs() < 20_000.0 * 1e-3);
+    }
+
+    #[test]
+    fn degenerate_brackets_short_circuit() {
+        // Even the low end misses the SLO.
+        let r = search("fake", 5.0, 1_000.0, 2_000.0, 8, |q| fake_run(q, 1e12));
+        assert_eq!(r.max_qps, 0.0);
+        assert_eq!(r.probes.len(), 1);
+        assert_eq!(r.iterations, 0);
+        // The high end already meets it.
+        let r = search("fake", 1e6, 1_000.0, 2_000.0, 8, |q| fake_run(q, 1e12));
+        assert_eq!(r.max_qps, 2_000.0);
+        assert_eq!(r.probes.len(), 2);
+    }
+
+    #[test]
+    fn search_is_deterministic() {
+        let go = || {
+            search("fake", 50.0, 1_000.0, 100_000.0, 12, |q| {
+                fake_run(q, 30_000.0)
+            })
+            .to_json()
+        };
+        assert_eq!(go(), go(), "same inputs, same bytes");
+    }
+
+    #[test]
+    fn json_is_wellformed() {
+        let r = search("fa\"ke", 50.0, 1_000.0, 100_000.0, 4, |q| {
+            fake_run(q, 1e12)
+        });
+        let j = r.to_json();
+        assert_eq!(j.matches('{').count(), j.matches('}').count());
+        for key in [
+            "\"arch\":\"fa\\\"ke\"",
+            "\"slo_p99_us\":50.0",
+            "\"bracket_qps\":[1000.0,100000.0]",
+            "\"max_qps\":",
+            "\"service_cache\":",
+            "\"probes\":[",
+        ] {
+            assert!(j.contains(key), "missing {key} in {j}");
+        }
+        assert!(!j.contains("NaN") && !j.contains("inf"));
+    }
+
+    #[test]
+    #[should_panic(expected = "bracket must satisfy")]
+    fn rejects_bad_bracket() {
+        search("x", 50.0, 10.0, 10.0, 4, |q| fake_run(q, 1e12));
+    }
+
+    #[test]
+    #[should_panic(expected = "SLO bound must be a positive latency")]
+    fn rejects_bad_bound() {
+        search("x", 0.0, 10.0, 20.0, 4, |q| fake_run(q, 1e12));
+    }
+}
