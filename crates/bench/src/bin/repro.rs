@@ -4,8 +4,9 @@
 //!
 //! ```text
 //! repro [--quick] <fig3|fig4|fig5|fig6|fig9|fig10|fig11|fig12|fig13|fig14|fig15|table2|table3|overheads|headline|all>
-//! repro [--quick] serve [--qps-sweep] [--bursty] [--sjf] [--seed=N] [--out=FILE]
-//! repro [--quick] serve --slo-search [--slo-p99=US] [--bursty] [--sjf] [--seed=N] [--out=FILE]
+//! repro [--quick] serve [--qps-sweep] [--bursty] [--sjf|--edf] [--seed=N] [--out=FILE]
+//! repro [--quick] serve --slo-search [--slo-p99=US] [--bursty] [--sjf|--edf] [--seed=N] [--out=FILE]
+//! repro [--quick] serve --tenants=SPEC [--slo-search] [--fifo|--sjf] [--seed=N] [--out=FILE]
 //! ```
 //!
 //! `--quick` runs the 1/100-scale workload (seconds instead of minutes);
@@ -16,6 +17,17 @@
 //! the closed-loop throughput search: a deterministic bisection over
 //! offered QPS for the highest rate whose p99 latency meets the
 //! `--slo-p99` bound (microseconds) with nothing shed.
+//!
+//! `--tenants=SPEC` switches `serve` to the multi-tenant deadline-aware
+//! path: `SPEC` is a comma-separated list of
+//! `name:share:process:deadline:priority` classes (e.g.
+//! `rt:0.7:poisson:200us:high,batch:0.3:mmpp:5ms:low`; grammar documented
+//! on `recross_bench::cli::parse_tenants`). Requests are tagged with
+//! their tenant and absolute deadline, served EDF with deadline shedding
+//! and adaptive linger by default (`--fifo`/`--sjf` override the dequeue
+//! policy), and reports carry per-tenant latency/goodput/shed/miss
+//! sections. With `--slo-search` the bisection finds the max *aggregate*
+//! QPS at which every tenant meets its own p99 deadline.
 
 use recross_bench::experiments as exp;
 use recross_bench::workloads::{dram, standard_trace, Scale};
@@ -395,24 +407,34 @@ fn serve(scale: Scale, args: &[String]) {
     use recross_bench::cli;
     use recross_serve::QueuePolicy;
 
-    let bursty = args.iter().any(|a| a == "--bursty");
-    let policy = if args.iter().any(|a| a == "--sjf") {
-        QueuePolicy::ShortestJobFirst
-    } else {
-        QueuePolicy::Fifo
-    };
     let fail = |e: String| -> ! {
         eprintln!("{e}");
         std::process::exit(2);
+    };
+    let bursty = args.iter().any(|a| a == "--bursty");
+    let tenants = cli::parse_tenants(args).unwrap_or_else(|e| fail(e));
+    // Tenant mode defaults to EDF (deadlines are what it is for); the
+    // single-class sweep keeps its FIFO default. `--fifo`/`--sjf`/`--edf`
+    // force a policy in either mode.
+    let policy = if args.iter().any(|a| a == "--fifo") {
+        QueuePolicy::Fifo
+    } else if args.iter().any(|a| a == "--sjf") {
+        QueuePolicy::ShortestJobFirst
+    } else if args.iter().any(|a| a == "--edf") || tenants.is_some() {
+        QueuePolicy::Edf
+    } else {
+        QueuePolicy::Fifo
     };
     let seed = cli::parse_seed(args).unwrap_or_else(|e| fail(e));
     let slo_p99_us = cli::parse_slo_p99(args).unwrap_or_else(|e| fail(e));
     let out = cli::value_of(args, "--out");
 
-    let json = if args.iter().any(|a| a == "--slo-search") {
-        serve_slo_search(scale, bursty, policy, seed, slo_p99_us)
-    } else {
-        serve_qps_sweep(scale, bursty, policy, seed)
+    let slo = args.iter().any(|a| a == "--slo-search");
+    let json = match (&tenants, slo) {
+        (Some(mix), true) => serve_tenant_slo(scale, mix, policy, seed),
+        (Some(mix), false) => serve_tenant_sweep(scale, mix, policy, seed),
+        (None, true) => serve_slo_search(scale, bursty, policy, seed, slo_p99_us),
+        (None, false) => serve_qps_sweep(scale, bursty, policy, seed),
     };
     match out {
         Some(path) => {
@@ -492,6 +514,81 @@ fn serve_slo_search(
         );
     }
     serving::slo_to_json(&reports, scale, bursty, policy, seed)
+}
+
+fn serve_tenant_sweep(
+    scale: Scale,
+    mix: &recross_serve::TenantMix,
+    policy: recross_serve::QueuePolicy,
+    seed: u64,
+) -> String {
+    use recross_bench::serving;
+
+    banner("recross-serve: multi-tenant sweep (deadline-aware batching queue per channel)");
+    let sweeps = serving::tenant_sweep(scale, mix, policy, seed);
+    println!(
+        "{:<10} {:>6} {:<8} {:>12} {:>12} {:>10} {:>9} {:>9}",
+        "arch", "load", "tenant", "p50 (us)", "p99 (us)", "goodput", "shed", "miss"
+    );
+    for s in &sweeps {
+        for (fraction, r) in &s.points {
+            for (i, t) in r.tenants.iter().enumerate() {
+                println!(
+                    "{:<10} {:>5.2}x {:<8} {:>12.1} {:>12.1} {:>10.0} {:>8.1}% {:>8.1}%",
+                    s.arch,
+                    fraction,
+                    t.name,
+                    r.cycles_to_us(t.latency.quantile(0.5)),
+                    r.cycles_to_us(t.latency.quantile(0.99)),
+                    r.tenant_goodput_qps(i),
+                    t.shed_rate() * 100.0,
+                    t.deadline_miss_rate() * 100.0
+                );
+            }
+        }
+    }
+    serving::tenant_sweep_to_json(&sweeps, scale, mix, policy, seed)
+}
+
+fn serve_tenant_slo(
+    scale: Scale,
+    mix: &recross_serve::TenantMix,
+    policy: recross_serve::QueuePolicy,
+    seed: u64,
+) -> String {
+    use recross_bench::serving;
+
+    banner("recross-serve: multi-tenant SLO search (max aggregate QPS, every tenant on time)");
+    let reports = serving::tenant_slo_search(scale, mix, policy, seed);
+    println!(
+        "{:<10} {:>14} {:>8} {:<8} {:>14} {:>14}",
+        "arch", "max qps", "probes", "tenant", "p99 (us)", "deadline (us)"
+    );
+    for r in &reports {
+        let last_met = r.probes.iter().rev().find(|p| p.met);
+        match last_met {
+            Some(p) => {
+                for t in &p.tenants {
+                    println!(
+                        "{:<10} {:>14.0} {:>8} {:<8} {:>14.1} {:>14.1}",
+                        r.arch,
+                        r.max_qps,
+                        r.probes.len(),
+                        t.name,
+                        t.p99_us,
+                        t.deadline_us
+                    );
+                }
+            }
+            None => println!(
+                "{:<10} {:>14.0} {:>8} (no passing probe in bracket)",
+                r.arch,
+                r.max_qps,
+                r.probes.len()
+            ),
+        }
+    }
+    serving::tenant_slo_to_json(&reports, scale, mix, policy, seed)
 }
 
 fn overheads(scale: Scale) {

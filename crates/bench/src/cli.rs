@@ -4,6 +4,10 @@
 //! stderr and exits with status 2. Keeping the parsing here, returning
 //! `Result<_, String>` with the exact message, makes every error path unit
 //! testable without spawning the binary.
+//!
+//! The `--tenants` grammar is documented on [`parse_tenants`].
+
+use recross_serve::{Priority, TenantClass, TenantMix, TenantProcess};
 
 /// Default `--seed` when none is given (shared with the sweep tests).
 pub const DEFAULT_SEED: u64 = 0x5E21;
@@ -44,6 +48,88 @@ pub fn parse_slo_p99(args: &[String]) -> Result<f64, String> {
     }
 }
 
+/// Parses a deadline literal: a positive decimal number immediately
+/// followed by a unit — `us`, `ms`, or `s` — e.g. `200us`, `2.5ms`, `1s`.
+/// Returns the value in microseconds.
+fn parse_deadline_us(s: &str) -> Result<f64, String> {
+    let (number, factor) = if let Some(n) = s.strip_suffix("us") {
+        (n, 1.0)
+    } else if let Some(n) = s.strip_suffix("ms") {
+        (n, 1e3)
+    } else if let Some(n) = s.strip_suffix('s') {
+        (n, 1e6)
+    } else {
+        return Err(format!(
+            "deadline needs a unit suffix (us|ms|s), got {s:?}"
+        ));
+    };
+    match number.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => Ok(v * factor),
+        _ => Err(format!("deadline must be a positive number, got {s:?}")),
+    }
+}
+
+/// Parses one tenant class: `name:share:process:deadline:priority`.
+fn parse_tenant_class(spec: &str) -> Result<TenantClass, String> {
+    let fields: Vec<&str> = spec.split(':').collect();
+    let [name, share, process, deadline, priority] = fields.as_slice() else {
+        return Err(format!(
+            "tenant class needs name:share:process:deadline:priority, got {spec:?}"
+        ));
+    };
+    if name.is_empty() {
+        return Err(format!("tenant name must be non-empty in {spec:?}"));
+    }
+    let share = match share.parse::<f64>() {
+        Ok(v) if v.is_finite() && v > 0.0 => v,
+        _ => {
+            return Err(format!(
+                "tenant share must be a positive number, got {share:?} in {spec:?}"
+            ))
+        }
+    };
+    let process = TenantProcess::parse(process).ok_or_else(|| {
+        format!("tenant process must be poisson|bursty|mmpp, got {process:?} in {spec:?}")
+    })?;
+    let deadline_us =
+        parse_deadline_us(deadline).map_err(|e| format!("{e} in {spec:?}"))?;
+    let priority = Priority::parse(priority).ok_or_else(|| {
+        format!("tenant priority must be high|normal|low, got {priority:?} in {spec:?}")
+    })?;
+    Ok(TenantClass::new(*name, share, process, deadline_us, priority))
+}
+
+/// Parses `--tenants=SPEC` into a [`TenantMix`]; `Ok(None)` when the flag
+/// is absent.
+///
+/// `SPEC` is a comma-separated list of tenant classes, each
+/// `name:share:process:deadline:priority`:
+///
+/// * `name` — non-empty label, unique within the mix;
+/// * `share` — positive traffic share (normalized by the sum of shares);
+/// * `process` — `poisson`, `bursty`, or `mmpp` (alias of `bursty`);
+/// * `deadline` — positive number with unit `us`, `ms`, or `s`;
+/// * `priority` — `high`, `normal`, or `low`.
+///
+/// Example: `rt:0.7:poisson:200us:high,batch:0.3:mmpp:5ms:low`.
+pub fn parse_tenants(args: &[String]) -> Result<Option<TenantMix>, String> {
+    let Some(spec) = value_of(args, "--tenants") else {
+        return Ok(None);
+    };
+    if spec.is_empty() {
+        return Err("--tenants expects at least one tenant class".to_string());
+    }
+    let mut classes = Vec::new();
+    for part in spec.split(',') {
+        let class = parse_tenant_class(part).map_err(|e| format!("--tenants: {e}"))?;
+        if classes.iter().any(|c: &TenantClass| c.name == class.name) {
+            return Err(format!("--tenants: duplicate tenant name {:?}", class.name));
+        }
+        classes.push(class);
+    }
+    Ok(Some(TenantMix::new(classes)))
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -79,6 +165,60 @@ mod tests {
                 format!("--slo-p99 expects a positive latency bound in microseconds, got {bad:?}"),
             );
         }
+    }
+
+    #[test]
+    fn tenants_absent_is_none() {
+        assert_eq!(parse_tenants(&args(&["serve", "--seed=1"])), Ok(None));
+    }
+
+    #[test]
+    fn tenants_parse_full_grammar() {
+        let mix = parse_tenants(&args(&[
+            "--tenants=rt:0.7:poisson:200us:high,batch:0.3:mmpp:5ms:low",
+        ]))
+        .unwrap()
+        .unwrap();
+        let classes = mix.classes();
+        assert_eq!(classes.len(), 2);
+        assert_eq!(classes[0].name, "rt");
+        assert_eq!(classes[0].share, 0.7);
+        assert_eq!(classes[0].process, TenantProcess::Poisson);
+        assert_eq!(classes[0].deadline_us, 200.0);
+        assert_eq!(classes[0].priority, Priority::High);
+        assert_eq!(classes[1].name, "batch");
+        assert_eq!(classes[1].process, TenantProcess::Bursty, "mmpp aliases bursty");
+        assert_eq!(classes[1].deadline_us, 5_000.0);
+        assert_eq!(classes[1].priority, Priority::Low);
+    }
+
+    #[test]
+    fn tenants_deadline_units() {
+        let mix = |spec: &str| {
+            parse_tenants(&args(&[&format!("--tenants={spec}")]))
+                .unwrap()
+                .unwrap()
+        };
+        assert_eq!(mix("a:1:poisson:250us:normal").classes()[0].deadline_us, 250.0);
+        assert_eq!(mix("a:1:poisson:2.5ms:normal").classes()[0].deadline_us, 2_500.0);
+        assert_eq!(mix("a:1:poisson:1s:normal").classes()[0].deadline_us, 1e6);
+    }
+
+    #[test]
+    fn tenants_reject_malformed_specs() {
+        let err = |spec: &str| {
+            parse_tenants(&args(&[&format!("--tenants={spec}")])).unwrap_err()
+        };
+        assert!(err("").contains("at least one tenant class"));
+        assert!(err("rt:0.7:poisson:200us").contains("name:share:process:deadline:priority"));
+        assert!(err("rt:zero:poisson:200us:high").contains("share must be a positive number"));
+        assert!(err("rt:-1:poisson:200us:high").contains("share must be a positive number"));
+        assert!(err("rt:0.7:uniform:200us:high").contains("poisson|bursty|mmpp"));
+        assert!(err("rt:0.7:poisson:200:high").contains("unit suffix"));
+        assert!(err("rt:0.7:poisson:-5us:high").contains("positive number"));
+        assert!(err("rt:0.7:poisson:200us:urgent").contains("high|normal|low"));
+        assert!(err("rt:1:poisson:200us:high,rt:1:poisson:300us:low")
+            .contains("duplicate tenant name"));
     }
 
     #[test]

@@ -23,8 +23,8 @@ use recross_nmp::session::ServiceSession;
 use recross_nmp::{AccessProfile, CpuBaseline};
 use recross_serve::report::{fmt_f64, json_string};
 use recross_serve::{
-    open_sessions, simulate_sessions, ArrivalProcess, BatcherConfig, QueuePolicy, ServeReport,
-    SloReport,
+    open_sessions, simulate_sessions, simulate_tenant_sessions, ArrivalProcess, BatcherConfig,
+    QueuePolicy, ServeReport, SloReport, TenantMix, TenantSloReport,
 };
 use recross_workload::{Batch, Trace};
 
@@ -70,6 +70,21 @@ pub fn batcher_config(policy: QueuePolicy) -> BatcherConfig {
         max_linger: dram().ns_to_cycles(2_000.0),
         queue_depth: 12,
         policy,
+        shed_expired: false,
+        adaptive_linger: false,
+    }
+}
+
+/// The batching-queue configuration used by the multi-tenant experiments:
+/// same batch/linger shape as [`batcher_config`], but with a deeper queue
+/// (deadline shedding, not tail-drop, should be the dominant drop path),
+/// deadline shedding on, and adaptive linger on.
+pub fn tenant_batcher_config(policy: QueuePolicy) -> BatcherConfig {
+    BatcherConfig {
+        queue_depth: 64,
+        shed_expired: true,
+        adaptive_linger: true,
+        ..batcher_config(policy)
     }
 }
 
@@ -266,6 +281,130 @@ pub fn slo_search_at(
     reports
 }
 
+/// Runs the multi-tenant sweep: for CPU and ReCross, estimate aggregate
+/// capacity, then serve every [`SWEEP_FRACTIONS`] fraction of it as a
+/// deadline-tagged request stream generated by `mix` (each tenant drawing
+/// its own share and arrival shape), through [`tenant_batcher_config`].
+/// Deterministic in `seed`; the reports carry per-tenant sections.
+pub fn tenant_sweep(
+    scale: Scale,
+    mix: &TenantMix,
+    policy: QueuePolicy,
+    seed: u64,
+) -> Vec<ArchSweep> {
+    tenant_sweep_at(scale, mix, SWEEP_FRACTIONS, policy, seed)
+}
+
+/// [`tenant_sweep`] over an explicit list of capacity fractions.
+pub fn tenant_sweep_at(
+    scale: Scale,
+    mix: &TenantMix,
+    fractions: &[f64],
+    policy: QueuePolicy,
+    seed: u64,
+) -> Vec<ArchSweep> {
+    let d = dram();
+    let cps = d.cycles_per_sec();
+    let n = requests_for(scale);
+    let trace = generator(scale, 64).batch_size(1).batches(n).generate(seed);
+    let plan = ChannelPlan::balance_by_load(&trace, CHANNELS);
+    let cfg = tenant_batcher_config(policy);
+    let batch_hint = cfg.max_batch as f64;
+
+    let mut sweeps = Vec::new();
+    for arch in ["CPU", "ReCross"] {
+        let mut sessions = arch_sessions(arch, &trace, &plan, batch_hint);
+        let capacity = estimate_capacity_qps(&trace, &plan, cfg.max_batch, cps, &mut sessions);
+        let points = fractions
+            .iter()
+            .map(|&fraction| {
+                let qps = capacity * fraction;
+                let requests = mix.requests(n, qps, cps, seed ^ 0xA221);
+                let report = simulate_tenant_sessions(
+                    arch, &trace, &plan, &requests, mix, cfg, cps, &mut sessions,
+                );
+                (fraction, report)
+            })
+            .collect();
+        sweeps.push(ArchSweep {
+            arch: arch.to_string(),
+            capacity_qps: capacity,
+            points,
+        });
+    }
+    sweeps
+}
+
+/// Runs the multi-tenant SLO throughput search for CPU and ReCross: the
+/// highest **aggregate** QPS at which every tenant of `mix` sheds nothing
+/// and keeps its p99 latency within its own deadline. Bracket and
+/// iteration budget as in [`slo_search`]. Deterministic in `seed`.
+pub fn tenant_slo_search(
+    scale: Scale,
+    mix: &TenantMix,
+    policy: QueuePolicy,
+    seed: u64,
+) -> Vec<TenantSloReport> {
+    tenant_slo_search_at(scale, mix, policy, seed, SLO_ITERATIONS)
+}
+
+/// [`tenant_slo_search`] with an explicit bisection-iteration count.
+pub fn tenant_slo_search_at(
+    scale: Scale,
+    mix: &TenantMix,
+    policy: QueuePolicy,
+    seed: u64,
+    iterations: u32,
+) -> Vec<TenantSloReport> {
+    let d = dram();
+    let cps = d.cycles_per_sec();
+    let n = requests_for(scale);
+    let trace = generator(scale, 64).batch_size(1).batches(n).generate(seed);
+    let plan = ChannelPlan::balance_by_load(&trace, CHANNELS);
+    let cfg = tenant_batcher_config(policy);
+    let batch_hint = cfg.max_batch as f64;
+
+    let mut reports = Vec::new();
+    for arch in ["CPU", "ReCross"] {
+        let mut sessions = arch_sessions(arch, &trace, &plan, batch_hint);
+        let capacity = estimate_capacity_qps(&trace, &plan, cfg.max_batch, cps, &mut sessions);
+        let report = recross_serve::slo::search_tenants(
+            arch,
+            capacity * 0.05,
+            capacity * 2.0,
+            iterations,
+            |qps| {
+                let requests = mix.requests(n, qps, cps, seed ^ 0xA221);
+                simulate_tenant_sessions(
+                    arch, &trace, &plan, &requests, mix, cfg, cps, &mut sessions,
+                )
+            },
+        );
+        reports.push(report);
+    }
+    reports
+}
+
+/// The tenant classes of a mix as a JSON array (metadata echoed into the
+/// tenant experiment documents).
+fn mix_to_json(mix: &TenantMix) -> String {
+    let classes: Vec<String> = mix
+        .classes()
+        .iter()
+        .map(|c| {
+            format!(
+                "{{\"name\":{},\"share\":{},\"process\":{},\"deadline_us\":{},\"priority\":{}}}",
+                json_string(&c.name),
+                fmt_f64(c.share),
+                json_string(c.process.kind()),
+                fmt_f64(c.deadline_us),
+                json_string(c.priority.kind())
+            )
+        })
+        .collect();
+    format!("[{}]", classes.join(","))
+}
+
 /// The whole sweep as one JSON document (deterministic bytes for a given
 /// input — see module docs).
 pub fn sweep_to_json(
@@ -341,9 +480,95 @@ pub fn slo_to_json(
     )
 }
 
+/// The whole multi-tenant sweep as one JSON document (deterministic bytes
+/// for a given input — CI byte-compares two runs).
+pub fn tenant_sweep_to_json(
+    sweeps: &[ArchSweep],
+    scale: Scale,
+    mix: &TenantMix,
+    policy: QueuePolicy,
+    seed: u64,
+) -> String {
+    let cfg = tenant_batcher_config(policy);
+    let archs: Vec<String> = sweeps
+        .iter()
+        .map(|s| {
+            let points: Vec<String> = s
+                .points
+                .iter()
+                .map(|(f, r)| {
+                    format!("{{\"fraction\":{},\"result\":{}}}", fmt_f64(*f), r.to_json())
+                })
+                .collect();
+            format!(
+                "{{\"arch\":{},\"capacity_qps\":{},\"points\":[{}]}}",
+                json_string(&s.arch),
+                fmt_f64(s.capacity_qps),
+                points.join(",")
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"experiment\":\"serve_tenant_sweep\",\"scale\":{},",
+            "\"policy\":{},\"seed\":{},\"channels\":{},\"requests\":{},",
+            "\"tenant_classes\":{},",
+            "\"batcher\":{{\"max_batch\":{},\"max_linger_cycles\":{},",
+            "\"queue_depth\":{},\"shed_expired\":{},\"adaptive_linger\":{}}},",
+            "\"archs\":[{}]}}"
+        ),
+        json_string(scale_name(scale)),
+        json_string(policy.kind()),
+        seed,
+        CHANNELS,
+        requests_for(scale),
+        mix_to_json(mix),
+        cfg.max_batch,
+        cfg.max_linger,
+        cfg.queue_depth,
+        cfg.shed_expired,
+        cfg.adaptive_linger,
+        archs.join(",")
+    )
+}
+
+/// The whole multi-tenant SLO search as one JSON document (deterministic
+/// bytes for a given input).
+pub fn tenant_slo_to_json(
+    reports: &[TenantSloReport],
+    scale: Scale,
+    mix: &TenantMix,
+    policy: QueuePolicy,
+    seed: u64,
+) -> String {
+    let archs: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+    format!(
+        concat!(
+            "{{\"experiment\":\"serve_tenant_slo_search\",\"scale\":{},",
+            "\"policy\":{},\"seed\":{},\"channels\":{},\"requests\":{},",
+            "\"tenant_classes\":{},\"archs\":[{}]}}"
+        ),
+        json_string(scale_name(scale)),
+        json_string(policy.kind()),
+        seed,
+        CHANNELS,
+        requests_for(scale),
+        mix_to_json(mix),
+        archs.join(",")
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recross_serve::{Priority, TenantClass, TenantProcess};
+
+    fn test_mix() -> TenantMix {
+        TenantMix::new(vec![
+            TenantClass::new("rt", 0.7, TenantProcess::Poisson, 200.0, Priority::High),
+            TenantClass::new("batch", 0.3, TenantProcess::Bursty, 5_000.0, Priority::Low),
+        ])
+    }
 
     #[test]
     fn sweep_sheds_only_past_saturation() {
@@ -440,5 +665,70 @@ mod tests {
         assert_eq!(a, b, "same seed, same bytes");
         assert!(a.contains("\"experiment\":\"serve_slo_search\""));
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn tenant_sweep_reports_all_classes_and_balances() {
+        let mix = test_mix();
+        let sweeps = tenant_sweep_at(Scale::Tiny, &mix, &[0.5, 2.0], QueuePolicy::Edf, 0x77);
+        assert_eq!(sweeps.len(), 2);
+        for s in &sweeps {
+            for (_, r) in &s.points {
+                assert_eq!(r.tenants.len(), 2);
+                assert_eq!(r.tenants[0].name, "rt");
+                assert_eq!(r.tenants[1].name, "batch");
+                let mut total = 0;
+                for t in &r.tenants {
+                    assert_eq!(
+                        t.requests,
+                        t.completed + t.missed + t.queue_shed + t.deadline_shed,
+                        "{}: tenant counters partition",
+                        s.arch
+                    );
+                    total += t.requests;
+                }
+                assert_eq!(total, r.requests);
+            }
+        }
+    }
+
+    #[test]
+    fn tenant_sweep_is_byte_identical_across_reruns() {
+        let mix = test_mix();
+        let go = || {
+            let s = tenant_sweep_at(Scale::Tiny, &mix, &[0.8], QueuePolicy::Edf, 0x78);
+            tenant_sweep_to_json(&s, Scale::Tiny, &mix, QueuePolicy::Edf, 0x78)
+        };
+        let (a, b) = (go(), go());
+        assert_eq!(a, b, "same seed, same bytes");
+        assert!(a.contains("\"experiment\":\"serve_tenant_sweep\""));
+        assert!(a.contains("\"tenant_classes\":[{\"name\":\"rt\""));
+        assert!(a.contains("\"policy\":\"edf\""));
+        assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn tenant_slo_search_finds_rate_and_is_deterministic() {
+        // Lax deadlines (200 µs / 5 ms): the capacity knee, not the
+        // deadline, binds — so a positive aggregate rate exists.
+        let mix = test_mix();
+        let go = || {
+            let r = tenant_slo_search_at(Scale::Tiny, &mix, QueuePolicy::Edf, 0x79, 4);
+            tenant_slo_to_json(&r, Scale::Tiny, &mix, QueuePolicy::Edf, 0x79)
+        };
+        let reports = tenant_slo_search_at(Scale::Tiny, &mix, QueuePolicy::Edf, 0x79, 4);
+        assert_eq!(reports.len(), 2);
+        for r in &reports {
+            assert!(
+                r.max_qps > 0.0 && r.max_qps <= r.bracket_hi_qps,
+                "{}: aggregate rate within bracket, got {}",
+                r.arch,
+                r.max_qps
+            );
+            for p in &r.probes {
+                assert_eq!(p.tenants.len(), 2, "verdict per class");
+            }
+        }
+        assert_eq!(go(), go(), "same seed, same bytes");
     }
 }

@@ -148,7 +148,8 @@ pub trait EmbeddingAccelerator {
     /// batches later passed to [`ServiceSession::service`] index into this
     /// table universe.
     ///
-    /// A session's uncached path must price a batch exactly as [`run`]
+    /// A session's uncached path must price a batch exactly as
+    /// [`run`](EmbeddingAccelerator::run)
     /// prices the equivalent single-batch trace (the serving simulator's
     /// results are invariant under this refactor, and the session tests
     /// assert it per model).

@@ -83,15 +83,24 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
     /// Accesses `key`: returns `true` on hit. On miss the key is inserted,
     /// evicting the least recently used key if full.
     pub fn touch(&mut self, key: K) -> bool {
+        self.touch_evict(key).0
+    }
+
+    /// [`touch`](Self::touch), additionally returning the key evicted to
+    /// make room (always `None` on a hit). Lets callers that pair this
+    /// recency list with an external value store drop the evicted value.
+    pub fn touch_evict(&mut self, key: K) -> (bool, Option<K>) {
         if let Some(&idx) = self.map.get(&key) {
             self.hits += 1;
             self.move_to_front(idx);
-            return true;
+            return (true, None);
         }
         self.misses += 1;
-        if self.map.len() == self.capacity {
-            self.evict_tail();
-        }
+        let evicted = if self.map.len() == self.capacity {
+            Some(self.evict_tail())
+        } else {
+            None
+        };
         let idx = self.nodes.len();
         self.nodes.push(Node {
             key: key.clone(),
@@ -106,7 +115,7 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
             self.tail = idx;
         }
         self.map.insert(key, idx);
-        false
+        (false, evicted)
     }
 
     fn move_to_front(&mut self, idx: usize) {
@@ -131,7 +140,7 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
         self.head = idx;
     }
 
-    fn evict_tail(&mut self) {
+    fn evict_tail(&mut self) -> K {
         let old_tail = self.tail;
         debug_assert_ne!(old_tail, NIL, "evict from empty cache");
         let key = self.nodes[old_tail].key.clone();
@@ -164,6 +173,7 @@ impl<K: Eq + Hash + Clone> LruCache<K> {
             }
         }
         self.nodes.pop();
+        key
     }
 }
 
@@ -206,6 +216,16 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         LruCache::<u64>::new(0);
+    }
+
+    #[test]
+    fn touch_evict_reports_victim() {
+        let mut c = LruCache::new(2);
+        assert_eq!(c.touch_evict(1), (false, None));
+        assert_eq!(c.touch_evict(2), (false, None));
+        assert_eq!(c.touch_evict(1), (true, None), "hit never evicts");
+        assert_eq!(c.touch_evict(3), (false, Some(2)), "LRU key 2 evicted");
+        assert!(c.contains(&1) && c.contains(&3));
     }
 
     #[test]

@@ -1,7 +1,8 @@
 //! The prepare-once / service-many serving surface.
 //!
 //! The offline API ([`EmbeddingAccelerator::run`]) consumes a whole
-//! [`Trace`]; it rebuilds the architecture's table layout, engine
+//! [`Trace`](recross_workload::Trace); it rebuilds the architecture's
+//! table layout, engine
 //! configuration, and (for ReCross) placement state on every call. That is
 //! the right shape for regenerating a paper figure and the wrong shape for
 //! the serving simulator, which charges a cycle-accurate cost to *every
@@ -23,19 +24,35 @@
 //! returns bit-identical cycles to a re-simulation. Disabling the cache
 //! ([`ServiceSession::set_cache_enabled`]) therefore changes wall-clock
 //! time, never reported cycles — CI byte-compares the two.
+//!
+//! Long-lived sessions (a server that stays up across many traffic mixes)
+//! would grow an unbounded memo, so the cache is **bounded**: at most
+//! [`DEFAULT_MEMO_CAPACITY`] distinct batch signatures are retained, with
+//! least-recently-used eviction beyond that
+//! ([`ServiceSession::set_cache_capacity`] reconfigures the bound).
+//! Eviction only ever discards memoized *timings* — an evicted signature is
+//! simply re-simulated on its next appearance — so the capacity changes
+//! hit/miss/eviction accounting, never reported cycles.
 
 use std::collections::HashMap;
 
 use recross_dram::Cycle;
 use recross_workload::Batch;
 
-/// Hit/miss counters of a session's memoized service-time cache.
+use crate::cache::LruCache;
+
+/// Default bound on distinct batch signatures a session memoizes.
+pub const DEFAULT_MEMO_CAPACITY: usize = 1 << 16;
+
+/// Hit/miss/eviction counters of a session's memoized service-time cache.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct SessionStats {
     /// Batches priced from the memo cache.
     pub hits: u64,
     /// Batches priced by full simulation (and then memoized).
     pub misses: u64,
+    /// Memoized entries discarded by LRU eviction (capacity pressure).
+    pub evictions: u64,
 }
 
 impl SessionStats {
@@ -54,6 +71,7 @@ impl SessionStats {
         SessionStats {
             hits: self.hits - earlier.hits,
             misses: self.misses - earlier.misses,
+            evictions: self.evictions - earlier.evictions,
         }
     }
 }
@@ -74,13 +92,27 @@ pub trait ServiceSession {
     /// indices refer into the table universe the session was opened for.
     fn service(&mut self, batch: &Batch) -> Cycle;
 
-    /// Cumulative memo-cache hit/miss counters for this session.
+    /// Cumulative memo-cache hit/miss/eviction counters for this session.
     fn stats(&self) -> SessionStats;
 
     /// Enables or disables the service-time memo cache (enabled by
     /// default). Disabling never changes reported cycles, only wall-clock
     /// time; already-cached entries are dropped.
     fn set_cache_enabled(&mut self, enabled: bool);
+
+    /// Rebounds the memo cache to at most `capacity` distinct batch
+    /// signatures (default [`DEFAULT_MEMO_CAPACITY`]), evicting least
+    /// recently used entries beyond it. Resizing drops already-cached
+    /// entries; like disabling, it never changes reported cycles, only
+    /// which batches are re-simulated (the accounting in
+    /// [`stats`](Self::stats)).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero (use
+    /// [`set_cache_enabled(false)`](Self::set_cache_enabled) for "no
+    /// cache").
+    fn set_cache_capacity(&mut self, capacity: usize);
 }
 
 #[cfg(doc)]
@@ -119,6 +151,9 @@ pub struct MemoizedSession {
     name: String,
     uncached: Box<dyn FnMut(&Batch) -> Cycle>,
     cache: HashMap<Vec<u64>, Cycle>,
+    /// Recency list over the memoized signatures; its fixed capacity is the
+    /// memo bound, and its evictions name the signature to drop.
+    lru: LruCache<Vec<u64>>,
     stats: SessionStats,
     enabled: bool,
 }
@@ -128,6 +163,7 @@ impl core::fmt::Debug for MemoizedSession {
         f.debug_struct("MemoizedSession")
             .field("name", &self.name)
             .field("cached_entries", &self.cache.len())
+            .field("capacity", &self.lru.capacity())
             .field("stats", &self.stats)
             .field("enabled", &self.enabled)
             .finish()
@@ -139,11 +175,15 @@ impl MemoizedSession {
     /// and stateless across calls (identical batch → identical cycles);
     /// every model's session satisfies this by resetting per-batch state
     /// (LRU caches, replica round-robins) inside the closure.
+    ///
+    /// The memo holds at most [`DEFAULT_MEMO_CAPACITY`] signatures; see
+    /// [`ServiceSession::set_cache_capacity`].
     pub fn new(name: impl Into<String>, uncached: Box<dyn FnMut(&Batch) -> Cycle>) -> Self {
         Self {
             name: name.into(),
             uncached,
             cache: HashMap::new(),
+            lru: LruCache::new(DEFAULT_MEMO_CAPACITY),
             stats: SessionStats::default(),
             enabled: true,
         }
@@ -152,6 +192,11 @@ impl MemoizedSession {
     /// Distinct batch signatures currently memoized.
     pub fn cached_entries(&self) -> usize {
         self.cache.len()
+    }
+
+    /// Current bound on memoized signatures.
+    pub fn cache_capacity(&self) -> usize {
+        self.lru.capacity()
     }
 }
 
@@ -168,9 +213,15 @@ impl ServiceSession for MemoizedSession {
         let sig = batch_signature(batch);
         if let Some(&cycles) = self.cache.get(&sig) {
             self.stats.hits += 1;
+            self.lru.touch(sig);
             return cycles;
         }
         let cycles = (self.uncached)(batch);
+        let (_, evicted) = self.lru.touch_evict(sig.clone());
+        if let Some(victim) = evicted {
+            self.cache.remove(&victim);
+            self.stats.evictions += 1;
+        }
         self.cache.insert(sig, cycles);
         self.stats.misses += 1;
         cycles
@@ -184,7 +235,14 @@ impl ServiceSession for MemoizedSession {
         self.enabled = enabled;
         if !enabled {
             self.cache.clear();
+            self.lru = LruCache::new(self.lru.capacity());
         }
+    }
+
+    fn set_cache_capacity(&mut self, capacity: usize) {
+        assert!(capacity > 0, "memo capacity must be positive");
+        self.cache.clear();
+        self.lru = LruCache::new(capacity);
     }
 }
 
@@ -238,6 +296,14 @@ mod tests {
         }
     }
 
+    fn stats(hits: u64, misses: u64, evictions: u64) -> SessionStats {
+        SessionStats {
+            hits,
+            misses,
+            evictions,
+        }
+    }
+
     #[test]
     fn memo_cache_accounting_is_exact() {
         let t = trace();
@@ -245,12 +311,12 @@ mod tests {
             CpuBaseline::new(DramConfig::ddr5_4800()).open_session(&t.tables);
         assert_eq!(session.stats(), SessionStats::default());
         let first = session.service(&t.batches[0]);
-        assert_eq!(session.stats(), SessionStats { hits: 0, misses: 1 });
+        assert_eq!(session.stats(), stats(0, 1, 0));
         let again = session.service(&t.batches[0]);
         assert_eq!(again, first, "memo hit returns identical cycles");
-        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 1 });
+        assert_eq!(session.stats(), stats(1, 1, 0));
         let other = session.service(&t.batches[1]);
-        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 2 });
+        assert_eq!(session.stats(), stats(1, 2, 0));
         assert_ne!(
             batch_signature(&t.batches[0]),
             batch_signature(&t.batches[1]),
@@ -259,7 +325,48 @@ mod tests {
         // Disabling drops entries and prices uncached, same cycles.
         session.set_cache_enabled(false);
         assert_eq!(session.service(&t.batches[1]), other);
-        assert_eq!(session.stats(), SessionStats { hits: 1, misses: 3 });
+        assert_eq!(session.stats(), stats(1, 3, 0));
+    }
+
+    /// A capacity-1 memo still returns exact cycles — eviction re-simulates,
+    /// never re-prices — and counts its evictions.
+    #[test]
+    fn bounded_memo_evicts_lru_and_stays_exact() {
+        let t = trace();
+        let d = DramConfig::ddr5_4800();
+        let accel = CpuBaseline::new(d);
+        let mut unbounded = accel.open_session(&t.tables);
+        let mut tiny = accel.open_session(&t.tables);
+        tiny.set_cache_capacity(1);
+
+        // Alternate two distinct batches: the capacity-1 memo thrashes
+        // (every access after the first two evicts), the unbounded one hits.
+        let mut want = Vec::new();
+        for round in 0..3 {
+            for b in [&t.batches[0], &t.batches[1]] {
+                let reference = unbounded.service(b);
+                assert_eq!(tiny.service(b), reference, "round {round}");
+                want.push(reference);
+            }
+        }
+        assert_eq!(unbounded.stats(), stats(4, 2, 0), "unbounded: all hits");
+        // Tiny cache: 6 accesses, alternating keys with capacity 1 → every
+        // access misses; from the second insert on, each miss evicts.
+        assert_eq!(tiny.stats(), stats(0, 6, 5));
+
+        // A repeat of the *same* batch still hits at capacity 1.
+        let again = tiny.service(&t.batches[1]);
+        assert_eq!(again, want[5]);
+        assert_eq!(tiny.stats(), stats(1, 6, 5));
+    }
+
+    #[test]
+    #[should_panic(expected = "memo capacity must be positive")]
+    fn zero_memo_capacity_rejected() {
+        let t = trace();
+        let mut session =
+            CpuBaseline::new(DramConfig::ddr5_4800()).open_session(&t.tables);
+        session.set_cache_capacity(0);
     }
 
     #[test]
@@ -274,9 +381,9 @@ mod tests {
 
     #[test]
     fn stats_since_subtracts() {
-        let a = SessionStats { hits: 5, misses: 7 };
-        let b = SessionStats { hits: 2, misses: 3 };
-        assert_eq!(a.since(&b), SessionStats { hits: 3, misses: 4 });
+        let a = stats(5, 7, 2);
+        let b = stats(2, 3, 1);
+        assert_eq!(a.since(&b), stats(3, 4, 1));
         assert!((a.hit_rate() - 5.0 / 12.0).abs() < 1e-12);
         assert_eq!(SessionStats::default().hit_rate(), 0.0);
     }

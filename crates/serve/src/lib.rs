@@ -11,8 +11,14 @@
 //! * [`arrival`] — Poisson and bursty (MMPP-2) arrival processes that turn
 //!   a [`recross_workload::TraceGenerator`] trace into timestamped
 //!   requests, deterministically from a seed;
-//! * [`batch`] — a bounded size-or-timeout batching queue with FIFO or
-//!   shortest-job-first dequeue and tail-drop load shedding;
+//! * [`tenant`] — multi-tenant traffic classes: a [`TenantMix`] of named
+//!   [`TenantClass`]es (share of load, arrival shape, per-request
+//!   deadline, [`Priority`]) generating one merged stream of
+//!   deadline-tagged [`TenantRequest`]s;
+//! * [`batch`] — a bounded size-or-timeout batching queue with FIFO,
+//!   shortest-job-first, or earliest-deadline-first dequeue, tail-drop
+//!   load shedding, optional deadline shedding, and optional adaptive
+//!   linger (the timeout shrinks as the queue fills);
 //! * [`sim`] — a discrete-event loop running one server (queue + prepared
 //!   accelerator [`ServiceSession`](recross_nmp::session::ServiceSession))
 //!   per memory channel, sharded by
@@ -21,45 +27,74 @@
 //!   [`service`](recross_nmp::session::ServiceSession::service) time;
 //!   sessions opened once ([`open_sessions`]) carry their resolved layout
 //!   state and memoized service times across runs;
-//! * [`slo`] — a closed-loop SLO throughput search: deterministic
+//! * [`slo`] — closed-loop SLO throughput searches: deterministic
 //!   bisection over offered QPS for the highest rate whose p99 latency
-//!   meets a bound with nothing shed, emitting a JSON [`SloReport`];
+//!   meets a bound ([`slo_search`]) or at which every tenant of a mix
+//!   meets its own deadline ([`slo_search_tenants`]);
 //! * [`hist`] / [`report`] — a mergeable log-scale latency histogram
 //!   (p50…p999 within ~3 % relative error) and a JSON [`ServeReport`]
-//!   with goodput, shed rate, queue-depth series, service-cache hit rate,
-//!   and per-channel utilization.
+//!   with goodput, shed rate, queue-depth series, service-cache stats,
+//!   per-channel utilization, and per-tenant [`TenantReport`] sections.
 //!
 //! Everything is integer cycles and in-repo PRNG, so identical seeds give
 //! byte-identical reports on any platform.
 //!
+//! # Example: a two-tenant deadline-aware run
+//!
+//! Serve a 70/30 mix of a deadline-tight interactive tenant and a lax
+//! bulk tenant through EDF dequeue with deadline shedding, then read the
+//! per-tenant outcome:
+//!
 //! ```
 //! use recross_nmp::cpu::CpuBaseline;
 //! use recross_nmp::multichannel::ChannelPlan;
-//! use recross_serve::{ArrivalProcess, BatcherConfig, simulate};
+//! use recross_serve::{
+//!     simulate_tenants, BatcherConfig, Priority, QueuePolicy, TenantClass,
+//!     TenantMix, TenantProcess,
+//! };
 //! use recross_workload::TraceGenerator;
 //!
 //! let dram = recross_dram::DramConfig::ddr5_4800();
-//! // 32 single-request batches = 32 requests.
+//! let cps = dram.cycles_per_sec();
+//! // 48 single-request batches = 48 requests.
 //! let trace = TraceGenerator::criteo_scaled(32, 100)
 //!     .batch_size(1)
 //!     .pooling(8)
-//!     .batches(32)
+//!     .batches(48)
 //!     .generate(7);
 //! let plan = ChannelPlan::balance_by_load(&trace, 2);
-//! let arrivals = ArrivalProcess::poisson(50_000.0)
-//!     .timestamps(trace.batches.len(), dram.cycles_per_sec(), 7);
-//! let report = simulate(
-//!     "CPU",
-//!     &trace,
-//!     &plan,
-//!     &arrivals,
-//!     BatcherConfig::default(),
-//!     dram.cycles_per_sec(),
+//!
+//! let mix = TenantMix::new(vec![
+//!     TenantClass::new("rt", 0.7, TenantProcess::Poisson, 200.0, Priority::High),
+//!     TenantClass::new("batch", 0.3, TenantProcess::Bursty, 5_000.0, Priority::Low),
+//! ]);
+//! let requests = mix.requests(trace.batches.len(), 50_000.0, cps, 7);
+//!
+//! let cfg = BatcherConfig {
+//!     policy: QueuePolicy::Edf,
+//!     shed_expired: true,
+//!     adaptive_linger: true,
+//!     ..BatcherConfig::default()
+//! };
+//! let report = simulate_tenants(
+//!     "CPU", &trace, &plan, &requests, &mix, cfg, cps,
 //!     |_, _| CpuBaseline::new(dram.clone()),
 //! );
-//! assert_eq!(report.requests, 32);
-//! println!("{}", report.to_json());
+//!
+//! assert_eq!(report.tenants.len(), 2);
+//! let rt = &report.tenants[0];
+//! // Counters partition the tenant's traffic exactly.
+//! assert_eq!(
+//!     rt.requests,
+//!     rt.completed + rt.missed + rt.queue_shed + rt.deadline_shed
+//! );
+//! // Per-tenant p99 latency, in microseconds.
+//! let p99_us = report.cycles_to_us(rt.latency.quantile(0.99));
+//! assert!(p99_us >= 0.0);
+//! println!("rt p99 = {p99_us} µs");
 //! ```
+
+#![deny(missing_docs)]
 
 pub mod arrival;
 pub mod batch;
@@ -67,10 +102,17 @@ pub mod hist;
 pub mod report;
 pub mod sim;
 pub mod slo;
+pub mod tenant;
 
 pub use arrival::ArrivalProcess;
 pub use batch::{Batcher, BatcherConfig, QueuePolicy, QueuedJob};
 pub use hist::LatencyHistogram;
-pub use report::{ChannelReport, ServeReport};
-pub use sim::{open_sessions, simulate, simulate_sessions};
-pub use slo::{search as slo_search, SloProbe, SloReport};
+pub use report::{ChannelReport, ServeReport, TenantReport};
+pub use sim::{
+    open_sessions, simulate, simulate_sessions, simulate_tenant_sessions, simulate_tenants,
+};
+pub use slo::{
+    search as slo_search, search_tenants as slo_search_tenants, SloProbe, SloReport,
+    TenantSloProbe, TenantSloReport, TenantVerdict,
+};
+pub use tenant::{Priority, TenantClass, TenantMix, TenantProcess, TenantRequest};

@@ -4,11 +4,16 @@
 //! dependency; floats are formatted with Rust's shortest-roundtrip `{}`
 //! display, which is deterministic across platforms — two runs with the
 //! same seed produce byte-identical report files (checked in CI).
+//!
+//! Multi-tenant runs add one [`TenantReport`] per traffic class, emitted
+//! under the `"tenants"` key in class-declaration order with the same
+//! deterministic formatting.
 
 use recross_dram::Cycle;
 use recross_nmp::session::SessionStats;
 
 use crate::hist::LatencyHistogram;
+use crate::tenant::TenantClass;
 
 /// Per-channel server statistics.
 #[derive(Debug, Clone, PartialEq)]
@@ -19,8 +24,85 @@ pub struct ChannelReport {
     pub utilization: f64,
     /// Batches dispatched.
     pub dispatches: u64,
-    /// Requests shed at this channel's queue.
+    /// Requests shed at this channel's queue (admission tail-drop).
     pub shed: u64,
+    /// Requests shed at this channel by deadline shedding.
+    pub expired: u64,
+}
+
+/// Per-tenant outcome of a multi-tenant serving run.
+///
+/// The four counters partition the tenant's requests exactly:
+/// `requests = completed + missed + queue_shed + deadline_shed`
+/// (asserted in the simulator's tests).
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantReport {
+    /// Tenant name, from its [`TenantClass`].
+    pub name: String,
+    /// Priority label (`"low"` / `"normal"` / `"high"`).
+    pub priority: &'static str,
+    /// The class's declared (unnormalized) share of offered load.
+    pub share: f64,
+    /// The class's relative deadline in microseconds.
+    pub deadline_us: f64,
+    /// Requests this tenant offered.
+    pub requests: u64,
+    /// Requests that completed **by their deadline**.
+    pub completed: u64,
+    /// Requests that completed, but after their deadline.
+    pub missed: u64,
+    /// Requests dropped by a full queue (admission tail-drop).
+    pub queue_shed: u64,
+    /// Requests dropped by deadline shedding (deadline provably
+    /// unreachable at dequeue time).
+    pub deadline_shed: u64,
+    /// Latency distribution of this tenant's *finished* requests
+    /// (on-time and late), in cycles.
+    pub latency: LatencyHistogram,
+}
+
+impl TenantReport {
+    /// An empty report for one class (counters start at zero).
+    pub fn new(class: &TenantClass) -> Self {
+        Self {
+            name: class.name.clone(),
+            priority: class.priority.kind(),
+            share: class.share,
+            deadline_us: class.deadline_us,
+            requests: 0,
+            completed: 0,
+            missed: 0,
+            queue_shed: 0,
+            deadline_shed: 0,
+            latency: LatencyHistogram::new(),
+        }
+    }
+
+    /// Requests dropped for any reason.
+    pub fn shed(&self) -> u64 {
+        self.queue_shed + self.deadline_shed
+    }
+
+    /// Fraction of this tenant's requests dropped.
+    pub fn shed_rate(&self) -> f64 {
+        ratio(self.shed(), self.requests)
+    }
+
+    /// Fraction of this tenant's requests that did **not** complete by
+    /// their deadline — late completions and deadline sheds both count
+    /// (queue sheds do not; they never reached service for capacity, not
+    /// deadline, reasons).
+    pub fn deadline_miss_rate(&self) -> f64 {
+        ratio(self.missed + self.deadline_shed, self.requests)
+    }
+}
+
+fn ratio(num: u64, den: u64) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
 }
 
 /// Outcome of one serving simulation (one architecture at one offered
@@ -31,7 +113,8 @@ pub struct ServeReport {
     pub name: String,
     /// Requests offered.
     pub requests: u64,
-    /// Requests shed (dropped by some channel's bounded queue).
+    /// Requests dropped (bounded-queue tail-drop or deadline shedding on
+    /// some channel).
     pub shed: u64,
     /// Cycle at which the last completion (or arrival) happened.
     pub makespan_cycles: Cycle,
@@ -45,11 +128,15 @@ pub struct ServeReport {
     pub depth_series: Vec<u64>,
     /// Per-channel server statistics.
     pub channels: Vec<ChannelReport>,
-    /// Service-time memo cache hits/misses across all channels' sessions,
+    /// Service-time memo cache activity across all channels' sessions,
     /// counting only this run (see `ServiceSession::stats`). The cache is
     /// exact, so these counters are the only report fields that can differ
-    /// between cache-enabled and cache-disabled runs.
+    /// between cache-enabled and cache-disabled (or capacity-bounded)
+    /// runs.
     pub service_cache: SessionStats,
+    /// Per-tenant outcomes, in class-declaration order; empty for
+    /// single-tenant (untenanted) runs.
+    pub tenants: Vec<TenantReport>,
 }
 
 impl ServeReport {
@@ -60,11 +147,7 @@ impl ServeReport {
 
     /// Fraction of offered requests shed.
     pub fn shed_rate(&self) -> f64 {
-        if self.requests == 0 {
-            0.0
-        } else {
-            self.shed as f64 / self.requests as f64
-        }
+        ratio(self.shed, self.requests)
     }
 
     /// Completed requests per second of simulated wall time.
@@ -114,6 +197,16 @@ impl ServeReport {
             .collect()
     }
 
+    /// On-time completions per second of simulated wall time for tenant
+    /// `t` (0 for an out-of-range index).
+    pub fn tenant_goodput_qps(&self, t: usize) -> f64 {
+        let span_s = self.makespan_cycles as f64 / self.cycles_per_sec;
+        match self.tenants.get(t) {
+            Some(tr) if span_s > 0.0 => tr.completed as f64 / span_s,
+            _ => 0.0,
+        }
+    }
+
     /// The report as a JSON object string (no trailing newline).
     pub fn to_json(&self) -> String {
         let (p50, p90, p95, p99, p999) = self.latency.tail_summary();
@@ -123,11 +216,45 @@ impl ServeReport {
             .iter()
             .map(|c| {
                 format!(
-                    "{{\"busy_cycles\":{},\"utilization\":{},\"dispatches\":{},\"shed\":{}}}",
+                    "{{\"busy_cycles\":{},\"utilization\":{},\"dispatches\":{},\"shed\":{},\"expired\":{}}}",
                     c.busy_cycles,
                     fmt_f64(c.utilization),
                     c.dispatches,
-                    c.shed
+                    c.shed,
+                    c.expired
+                )
+            })
+            .collect();
+        let tenants: Vec<String> = self
+            .tenants
+            .iter()
+            .enumerate()
+            .map(|(i, t)| {
+                let (tp50, _, _, tp99, _) = t.latency.tail_summary();
+                format!(
+                    concat!(
+                        "{{\"name\":{},\"priority\":{},\"share\":{},\"deadline_us\":{},",
+                        "\"requests\":{},\"completed\":{},\"missed\":{},",
+                        "\"queue_shed\":{},\"deadline_shed\":{},",
+                        "\"shed_rate\":{},\"deadline_miss_rate\":{},\"goodput_qps\":{},",
+                        "\"latency\":{{\"mean_us\":{},\"p50\":{},\"p99\":{},\"max\":{}}}}}"
+                    ),
+                    json_string(&t.name),
+                    json_string(t.priority),
+                    fmt_f64(t.share),
+                    fmt_f64(t.deadline_us),
+                    t.requests,
+                    t.completed,
+                    t.missed,
+                    t.queue_shed,
+                    t.deadline_shed,
+                    fmt_f64(t.shed_rate()),
+                    fmt_f64(t.deadline_miss_rate()),
+                    fmt_f64(self.tenant_goodput_qps(i)),
+                    fmt_f64(self.cycles_to_us(t.latency.mean().round() as u64)),
+                    quant(tp50),
+                    quant(tp99),
+                    quant(t.latency.max()),
                 )
             })
             .collect();
@@ -144,8 +271,8 @@ impl ServeReport {
                 "\"latency\":{{\"mean_us\":{},\"p50\":{},\"p90\":{},",
                 "\"p95\":{},\"p99\":{},\"p999\":{},\"max\":{}}},",
                 "\"queue_depth\":{{\"mean\":{},\"max\":{},\"series\":[{}]}},",
-                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
-                "\"channels\":[{}]}}"
+                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{}}},",
+                "\"channels\":[{}],\"tenants\":[{}]}}"
             ),
             json_string(&self.name),
             fmt_f64(self.offered_qps),
@@ -167,8 +294,10 @@ impl ServeReport {
             depth.join(","),
             self.service_cache.hits,
             self.service_cache.misses,
+            self.service_cache.evictions,
             fmt_f64(self.cache_hit_rate()),
-            channels.join(",")
+            channels.join(","),
+            tenants.join(",")
         )
     }
 }
@@ -210,6 +339,7 @@ pub fn json_string(s: &str) -> String {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::tenant::{Priority, TenantProcess};
 
     fn sample_report() -> ServeReport {
         let mut latency = LatencyHistogram::new();
@@ -230,8 +360,14 @@ mod tests {
                 utilization: 0.5,
                 dispatches: 2,
                 shed: 1,
+                expired: 0,
             }],
-            service_cache: SessionStats { hits: 1, misses: 1 },
+            service_cache: SessionStats {
+                hits: 1,
+                misses: 1,
+                evictions: 0,
+            },
+            tenants: Vec::new(),
         }
     }
 
@@ -266,12 +402,45 @@ mod tests {
             "\"goodput_qps\":",
             "\"p99\":",
             "\"queue_depth\":",
-            "\"service_cache\":{\"hits\":1,\"misses\":1,\"hit_rate\":0.5}",
+            "\"service_cache\":{\"hits\":1,\"misses\":1,\"evictions\":0,\"hit_rate\":0.5}",
             "\"channels\":",
+            "\"tenants\":[]",
         ] {
             assert!(a.contains(key), "missing {key} in {a}");
         }
         assert!(!a.contains("NaN") && !a.contains("inf"));
+    }
+
+    #[test]
+    fn tenant_section_serializes_counters_and_rates() {
+        let class = TenantClass::new("rt", 0.7, TenantProcess::Poisson, 150.0, Priority::High);
+        let mut t = TenantReport::new(&class);
+        t.requests = 10;
+        t.completed = 6;
+        t.missed = 1;
+        t.queue_shed = 2;
+        t.deadline_shed = 1;
+        for v in [240u64, 480, 960] {
+            t.latency.record(v);
+        }
+        assert_eq!(t.shed(), 3);
+        assert!((t.shed_rate() - 0.3).abs() < 1e-12);
+        // missed + deadline_shed = 2 of 10.
+        assert!((t.deadline_miss_rate() - 0.2).abs() < 1e-12);
+        let mut r = sample_report();
+        r.tenants = vec![t];
+        let json = r.to_json();
+        for key in [
+            "\"tenants\":[{\"name\":\"rt\",\"priority\":\"high\",\"share\":0.7,\"deadline_us\":150.0,",
+            "\"requests\":10,\"completed\":6,\"missed\":1,\"queue_shed\":2,\"deadline_shed\":1,",
+            "\"shed_rate\":0.3,\"deadline_miss_rate\":0.2,",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+        // Tenant goodput: 6 on-time over 1 ms.
+        assert!((r.tenant_goodput_qps(0) - 6000.0).abs() < 1e-9);
+        assert_eq!(r.tenant_goodput_qps(9), 0.0);
+        assert_eq!(json, r.clone().to_json(), "tenant JSON deterministic");
     }
 
     #[test]

@@ -39,7 +39,10 @@ pub use recross_workload as workload;
 /// let mut session = accel.open_session(&trace.tables);
 /// let cycles = session.service(&trace.batches[0]);
 /// assert!(cycles > 0);
-/// assert_eq!(session.stats(), SessionStats { hits: 0, misses: 1 });
+/// assert_eq!(
+///     session.stats(),
+///     SessionStats { hits: 0, misses: 1, evictions: 0 }
+/// );
 ///
 /// // 3. Serve the trace open-loop: one batching queue + session per
 /// //    memory channel, Poisson arrivals, deterministic in the seed.
@@ -66,8 +69,11 @@ pub mod prelude {
         RecNmp, RunReport, ServiceSession, SessionStats, TensorDimm, Trim,
     };
     pub use recross_serve::{
-        open_sessions, simulate, simulate_sessions, slo_search, ArrivalProcess, Batcher,
-        BatcherConfig, LatencyHistogram, QueuePolicy, ServeReport, SloProbe, SloReport,
+        open_sessions, simulate, simulate_sessions, simulate_tenant_sessions, simulate_tenants,
+        slo_search, slo_search_tenants, ArrivalProcess, Batcher, BatcherConfig, LatencyHistogram,
+        Priority, QueuePolicy, ServeReport, SloProbe, SloReport, TenantClass, TenantMix,
+        TenantProcess, TenantReport, TenantRequest, TenantSloProbe, TenantSloReport,
+        TenantVerdict,
     };
     pub use recross_workload::{Batch, EmbeddingTableSpec, Trace, TraceGenerator};
     pub use recross::{empirical_profiles, ReCross, ReCrossConfig};
