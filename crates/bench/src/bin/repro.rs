@@ -26,8 +26,10 @@
 //! their tenant and absolute deadline, served EDF with deadline shedding
 //! and adaptive linger by default (`--fifo`/`--sjf` override the dequeue
 //! policy), and reports carry per-tenant latency/goodput/shed/miss
-//! sections. With `--slo-search` the bisection finds the max *aggregate*
-//! QPS at which every tenant meets its own p99 deadline.
+//! sections. Each class declares its own arrival process in the spec, so
+//! the single-stream `--bursty` flag is rejected in tenant mode. With
+//! `--slo-search` the bisection finds the max *aggregate* QPS at which
+//! every tenant meets its own p99 deadline.
 
 use recross_bench::experiments as exp;
 use recross_bench::workloads::{dram, standard_trace, Scale};
@@ -413,6 +415,13 @@ fn serve(scale: Scale, args: &[String]) {
     };
     let bursty = args.iter().any(|a| a == "--bursty");
     let tenants = cli::parse_tenants(args).unwrap_or_else(|e| fail(e));
+    if bursty && tenants.is_some() {
+        fail(
+            "--bursty conflicts with --tenants: per-tenant arrival shapes come \
+             from the tenant spec (name:share:poisson|bursty|mmpp:deadline:priority)"
+                .to_string(),
+        );
+    }
     // Tenant mode defaults to EDF (deadlines are what it is for); the
     // single-class sweep keeps its FIFO default. `--fifo`/`--sjf`/`--edf`
     // force a policy in either mode.

@@ -40,6 +40,9 @@
 //! a batch slot; and when `adaptive_linger` is set the linger timeout
 //! shrinks linearly as the queue fills, trading batching efficiency for
 //! latency exactly when the backlog (and thus deadline pressure) grows.
+//! Shrinking never violates causality: [`Batcher::next_trigger`] floors
+//! the fire time at the newest queued arrival, so a batch cannot be
+//! dispatched before every job it may carry exists.
 
 use recross_dram::Cycle;
 
@@ -225,17 +228,22 @@ impl Batcher {
     /// frees up at `server_free`: when `max_batch` jobs are waiting the
     /// batch is full from the moment the `max_batch`-th arrived; otherwise
     /// the linger clock (fixed or adaptive) runs from the oldest waiting
-    /// job. `None` when the queue is empty.
+    /// job. The trigger never precedes the newest queued arrival, so a
+    /// batch can only fire once every job it may carry exists. `None` when
+    /// the queue is empty.
     pub fn next_trigger(&self, server_free: Cycle) -> Option<Cycle> {
+        let newest = self.queue.last()?.arrival;
         let fire = if self.queue.len() >= self.cfg.max_batch {
             self.queue[self.cfg.max_batch - 1].arrival
         } else {
-            self.queue
-                .first()?
-                .arrival
-                .saturating_add(self.effective_linger())
+            self.queue[0].arrival.saturating_add(self.effective_linger())
         };
-        Some(fire.max(server_free))
+        // Causality clamp: an admission shrinks the adaptive linger, so
+        // the recomputed trigger could otherwise precede the arrival of a
+        // job admitted against the longer, pre-shrink timeout. Fixed
+        // linger is unaffected (admission already guarantees arrival ≤
+        // trigger, so the clamp is a no-op there).
+        Some(fire.max(newest).max(server_free))
     }
 
     /// Drops and returns every waiting job whose deadline can no longer be
@@ -502,6 +510,34 @@ mod tests {
         b.offer(job(3, 0, 1));
         // Full batch: fires at the 4th arrival.
         assert_eq!(b.next_trigger(0), Some(0));
+    }
+
+    #[test]
+    fn adaptive_trigger_never_precedes_a_queued_arrival() {
+        // Regression: admitting a job shrinks the adaptive linger, and the
+        // recomputed trigger used to land *before* the admitted job's
+        // arrival — dispatching a batch containing a request that did not
+        // exist yet.
+        let mut b = Batcher::new(BatcherConfig {
+            max_batch: 4,
+            max_linger: 1_000,
+            queue_depth: 10,
+            adaptive_linger: true,
+            ..BatcherConfig::default()
+        });
+        b.offer(job(0, 0, 1));
+        assert_eq!(b.next_trigger(0), Some(750));
+        // Job 1 arrives at 700 ≤ 750 and is admitted; the shrunk linger
+        // alone would say 500, but the batch cannot fire before 700.
+        b.offer(job(1, 700, 1));
+        let t = b.next_trigger(0);
+        assert_eq!(t, Some(700), "trigger must not precede the newest arrival");
+        // Deeper queues shrink the linger further; the floor holds.
+        b.offer(job(2, 700, 1));
+        assert_eq!(b.next_trigger(0), Some(700));
+        // And a full batch fires at the max_batch-th arrival as before.
+        b.offer(job(3, 701, 1));
+        assert_eq!(b.next_trigger(0), Some(701));
     }
 
     #[test]

@@ -76,14 +76,15 @@ impl SloReport {
                 format!(
                     concat!(
                         "{{\"qps\":{},\"met\":{},\"p99_us\":{},\"shed\":{},",
-                        "\"cache\":{{\"hits\":{},\"misses\":{}}}}}"
+                        "\"cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{}}}}}"
                     ),
                     fmt_f64(p.qps),
                     p.met,
                     fmt_f64(p.p99_us),
                     p.shed,
                     p.cache.hits,
-                    p.cache.misses
+                    p.cache.misses,
+                    p.cache.evictions
                 )
             })
             .collect();
@@ -93,7 +94,7 @@ impl SloReport {
                 "{{\"arch\":{},\"slo_p99_us\":{},",
                 "\"bracket_qps\":[{},{}],\"iterations\":{},",
                 "\"max_qps\":{},",
-                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
+                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{}}},",
                 "\"probes\":[{}]}}"
             ),
             json_string(&self.arch),
@@ -104,6 +105,7 @@ impl SloReport {
             fmt_f64(self.max_qps),
             total.hits,
             total.misses,
+            total.evictions,
             fmt_f64(total.hit_rate()),
             probes.join(",")
         )
@@ -206,7 +208,7 @@ impl TenantSloReport {
             concat!(
                 "{{\"arch\":{},\"bracket_qps\":[{},{}],\"iterations\":{},",
                 "\"max_qps\":{},",
-                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"hit_rate\":{}}},",
+                "\"service_cache\":{{\"hits\":{},\"misses\":{},\"evictions\":{},\"hit_rate\":{}}},",
                 "\"probes\":[{}]}}"
             ),
             json_string(&self.arch),
@@ -216,6 +218,7 @@ impl TenantSloReport {
             fmt_f64(self.max_qps),
             total.hits,
             total.misses,
+            total.evictions,
             fmt_f64(total.hit_rate()),
             probes.join(",")
         )
@@ -532,7 +535,8 @@ mod tests {
             "\"slo_p99_us\":50.0",
             "\"bracket_qps\":[1000.0,100000.0]",
             "\"max_qps\":",
-            "\"service_cache\":",
+            "\"service_cache\":{\"hits\":",
+            "\"evictions\":0,\"hit_rate\":",
             "\"probes\":[",
         ] {
             assert!(j.contains(key), "missing {key} in {j}");
@@ -572,6 +576,8 @@ mod tests {
             "\"arch\":\"fake\"",
             "\"bracket_qps\":[1000.0,100000.0]",
             "\"max_qps\":",
+            "\"service_cache\":{\"hits\":",
+            "\"evictions\":0,\"hit_rate\":",
             "\"tenants\":[{\"name\":\"rt\"",
             "\"deadline_us\":50.0",
             "\"queue_shed\":0",
