@@ -7,6 +7,8 @@
 //! repro [--quick] serve [--qps-sweep] [--bursty] [--sjf|--edf] [--seed=N] [--out=FILE]
 //! repro [--quick] serve --slo-search [--slo-p99=US] [--bursty] [--sjf|--edf] [--seed=N] [--out=FILE]
 //! repro [--quick] serve --tenants=SPEC [--slo-search] [--fifo|--sjf] [--seed=N] [--out=FILE]
+//! repro [--quick] serve --trace-out=FILE [--obs-summary[=FILE]] [--arch=cpu|recross] [--load=F] [--timeline-only] [...]
+//! repro [--quick] run [--arch=cpu|recross] [--seed=N] [--trace-out=FILE] [--dram-trace=FILE] [--obs-summary[=FILE]] [--out=FILE]
 //! ```
 //!
 //! `--quick` runs the 1/100-scale workload (seconds instead of minutes);
@@ -30,6 +32,25 @@
 //! the single-stream `--bursty` flag is rejected in tenant mode. With
 //! `--slo-search` the bisection finds the max *aggregate* QPS at which
 //! every tenant meets its own p99 deadline.
+//!
+//! `--trace-out=FILE` switches `serve` to the traced single-point mode:
+//! one architecture (`--arch`, default recross) serves one offered-load
+//! point (`--load` × estimated capacity, default 0.9) through the
+//! cross-layer tracer, writing a unified Perfetto timeline — tenant
+//! request lanes, per-channel batch spans and queue-depth gauges, down
+//! to per-bank DRAM commands — to `FILE` (load it in
+//! <https://ui.perfetto.dev>). `--obs-summary` (alone or `=FILE`) emits
+//! the deterministic `ObsReport` JSON with per-channel busy/idle
+//! fractions, queue-depth percentiles, and DRAM bottleneck attribution;
+//! `--timeline-only` skips the per-command bank tracks. The traced run's
+//! `"serve"` section is byte-identical to an untraced run of the same
+//! seed — tracing never perturbs the simulation.
+//!
+//! `run` is the closed-loop sibling (not part of `all`): the standard
+//! fixed trace runs batch-by-batch on one architecture, and the full
+//! DRAM command stream is captured. `--trace-out` writes the unified
+//! timeline, `--dram-trace` writes the original bank-tracks-only Chrome
+//! trace, `--obs-summary` emits the attribution JSON.
 
 use recross_bench::experiments as exp;
 use recross_bench::workloads::{dram, standard_trace, Scale};
@@ -153,11 +174,15 @@ fn main() {
         serve(scale, &args);
         ran = true;
     }
+    if what.contains(&"run") {
+        run_traced(scale, &args);
+        ran = true;
+    }
     if !ran {
         eprintln!(
             "unknown experiment {:?}; expected fig3..fig15, table2, table3, \
              overheads, headline, inst, channels, ddr4, training, serving, \
-             serve, all",
+             serve, run, all",
             what
         );
         std::process::exit(2);
@@ -439,11 +464,24 @@ fn serve(scale: Scale, args: &[String]) {
     let out = cli::value_of(args, "--out");
 
     let slo = args.iter().any(|a| a == "--slo-search");
-    let json = match (&tenants, slo) {
-        (Some(mix), true) => serve_tenant_slo(scale, mix, policy, seed),
-        (Some(mix), false) => serve_tenant_sweep(scale, mix, policy, seed),
-        (None, true) => serve_slo_search(scale, bursty, policy, seed, slo_p99_us),
-        (None, false) => serve_qps_sweep(scale, bursty, policy, seed),
+    let traced = cli::value_of(args, "--trace-out").is_some()
+        || cli::parse_obs_summary(args) != cli::ObsSummary::Off;
+    if traced && slo {
+        fail(
+            "--trace-out/--obs-summary trace a single serving point; \
+             they conflict with --slo-search"
+                .to_string(),
+        );
+    }
+    let json = if traced {
+        serve_trace_point(scale, tenants.as_ref(), bursty, policy, seed, args)
+    } else {
+        match (&tenants, slo) {
+            (Some(mix), true) => serve_tenant_slo(scale, mix, policy, seed),
+            (Some(mix), false) => serve_tenant_sweep(scale, mix, policy, seed),
+            (None, true) => serve_slo_search(scale, bursty, policy, seed, slo_p99_us),
+            (None, false) => serve_qps_sweep(scale, bursty, policy, seed),
+        }
     };
     match out {
         Some(path) => {
@@ -453,6 +491,121 @@ fn serve(scale: Scale, args: &[String]) {
             }
             println!("wrote {path}");
         }
+        None => println!("{json}"),
+    }
+}
+
+/// Writes `contents` to `path` (exit 2 on failure) and prints what
+/// landed where.
+fn write_artifact(path: &str, contents: &str, what: &str) {
+    if let Err(e) = std::fs::write(path, contents) {
+        eprintln!("cannot write {path}: {e}");
+        std::process::exit(2);
+    }
+    println!("wrote {what} {path}");
+}
+
+/// Emits an observability summary JSON per the `--obs-summary` form.
+fn emit_obs_summary(args: &[String], json: &str) {
+    use recross_bench::cli;
+    match cli::parse_obs_summary(args) {
+        cli::ObsSummary::Off => {}
+        cli::ObsSummary::Stdout => println!("{json}"),
+        cli::ObsSummary::File(path) => write_artifact(path, &format!("{json}\n"), "obs summary"),
+    }
+}
+
+fn serve_trace_point(
+    scale: Scale,
+    mix: Option<&recross_serve::TenantMix>,
+    bursty: bool,
+    policy: recross_serve::QueuePolicy,
+    seed: u64,
+    args: &[String],
+) -> String {
+    use recross_bench::{cli, serving};
+
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let arch = cli::parse_arch(args).unwrap_or_else(|e| fail(e));
+    let load = cli::parse_load(args).unwrap_or_else(|e| fail(e));
+    let dram_tracks = !args.iter().any(|a| a == "--timeline-only");
+
+    banner("recross-obs: traced serving point (request lanes down to DRAM commands)");
+    let p = serving::traced_point(scale, arch, mix, load, bursty, policy, seed, dram_tracks);
+    println!(
+        "{}: {:.0} offered qps ({:.2}x of {:.0} capacity qps), {} requests: \
+         {} completed, {} late, {} queue-shed, {} deadline-shed",
+        p.arch,
+        p.offered_qps,
+        p.load,
+        p.capacity_qps,
+        p.obs.requests,
+        p.obs.completed,
+        p.obs.late,
+        p.obs.queue_shed,
+        p.obs.deadline_shed
+    );
+    println!(
+        "{:>3} {:>7} {:>10} {:>21} {:>11}",
+        "ch", "busy", "dispatches", "depth p50/p99/max", "shed q/d"
+    );
+    for (ch, c) in p.obs.channels.iter().enumerate() {
+        println!(
+            "{ch:>3} {:>6.1}% {:>10} {:>17}/{}/{} {:>8}/{}",
+            c.busy_fraction * 100.0,
+            c.dispatches,
+            c.depth_p50,
+            c.depth_p99,
+            c.depth_max,
+            c.queue_shed,
+            c.deadline_shed
+        );
+        if let Some(a) = &c.attribution {
+            println!("    {}", recross_dram::attribution::summarize(&format!("ch{ch}"), a));
+        }
+    }
+    if let Some(path) = cli::value_of(args, "--trace-out") {
+        write_artifact(path, &p.perfetto, "Perfetto timeline (open in https://ui.perfetto.dev)");
+    }
+    emit_obs_summary(args, &p.obs.to_json());
+    serving::traced_point_to_json(&p, scale, mix, bursty, policy, seed)
+}
+
+fn run_traced(scale: Scale, args: &[String]) {
+    use recross_bench::{cli, runtrace};
+
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let arch = cli::parse_arch(args).unwrap_or_else(|e| fail(e));
+    let seed = cli::parse_seed(args).unwrap_or_else(|e| fail(e));
+
+    banner("recross-obs: closed-loop traced run (engine batches down to DRAM commands)");
+    let rt = runtrace::closed_loop_trace(scale, arch, seed, 0);
+    println!(
+        "{} ({}): {} batches, {} lookups, {} cycles, {} DRAM commands",
+        rt.arch,
+        rt.engine,
+        rt.batches.len(),
+        rt.lookups,
+        rt.total_cycles,
+        rt.commands.len()
+    );
+    println!("{}", rt.summary_line());
+    if let Some(path) = cli::value_of(args, "--trace-out") {
+        write_artifact(path, &rt.perfetto(), "Perfetto timeline (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = cli::value_of(args, "--dram-trace") {
+        write_artifact(path, &rt.dram_chrome_trace(), "DRAM command trace");
+    }
+    let json = rt.to_json(scale, seed);
+    emit_obs_summary(args, &json);
+    match cli::value_of(args, "--out") {
+        Some(path) => write_artifact(path, &format!("{json}\n"), "report"),
         None => println!("{json}"),
     }
 }

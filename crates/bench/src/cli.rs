@@ -48,6 +48,65 @@ pub fn parse_slo_p99(args: &[String]) -> Result<f64, String> {
     }
 }
 
+/// Default `--load` fraction of estimated capacity for traced
+/// single-point runs.
+pub const DEFAULT_LOAD: f64 = 0.9;
+
+/// Parses `--arch=NAME` — the accelerator substrate for single-point
+/// runs. Accepts `cpu` or `recross` (case-insensitive), returning the
+/// canonical report label; defaults to `"ReCross"`.
+pub fn parse_arch(args: &[String]) -> Result<&'static str, String> {
+    match value_of(args, "--arch") {
+        None => Ok("ReCross"),
+        Some(s) => match s.to_ascii_lowercase().as_str() {
+            "cpu" => Ok("CPU"),
+            "recross" => Ok("ReCross"),
+            _ => Err(format!("--arch expects cpu|recross, got {s:?}")),
+        },
+    }
+}
+
+/// Parses `--load=FRACTION` (defaulting to [`DEFAULT_LOAD`]) — the
+/// offered load as a fraction of the substrate's estimated capacity.
+/// Must be finite and strictly positive; values above 1 deliberately
+/// overload the server.
+pub fn parse_load(args: &[String]) -> Result<f64, String> {
+    match value_of(args, "--load") {
+        None => Ok(DEFAULT_LOAD),
+        Some(s) => match s.parse::<f64>() {
+            Ok(v) if v.is_finite() && v > 0.0 => Ok(v),
+            _ => Err(format!(
+                "--load expects a positive capacity fraction, got {s:?}"
+            )),
+        },
+    }
+}
+
+/// Where `--obs-summary` sends the [`ObsReport`](recross_serve::ObsReport)
+/// JSON: nowhere (flag absent), stdout (bare flag), or a file
+/// (`--obs-summary=FILE`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ObsSummary<'a> {
+    /// Flag absent — no summary emitted.
+    Off,
+    /// Bare `--obs-summary` — print the JSON to stdout.
+    Stdout,
+    /// `--obs-summary=FILE` — write the JSON to this path.
+    File(&'a str),
+}
+
+/// Parses `--obs-summary` / `--obs-summary=FILE`. A file form anywhere
+/// wins over a bare flag (last file wins, matching [`value_of`]).
+pub fn parse_obs_summary(args: &[String]) -> ObsSummary<'_> {
+    if let Some(path) = value_of(args, "--obs-summary") {
+        ObsSummary::File(path)
+    } else if args.iter().any(|a| a == "--obs-summary") {
+        ObsSummary::Stdout
+    } else {
+        ObsSummary::Off
+    }
+}
+
 /// Parses a deadline literal: a positive decimal number immediately
 /// followed by a unit — `us`, `ms`, or `s` — e.g. `200us`, `2.5ms`, `1s`.
 /// Returns the value in microseconds.
@@ -165,6 +224,49 @@ mod tests {
                 format!("--slo-p99 expects a positive latency bound in microseconds, got {bad:?}"),
             );
         }
+    }
+
+    #[test]
+    fn arch_parses_and_defaults() {
+        assert_eq!(parse_arch(&args(&["serve"])), Ok("ReCross"));
+        assert_eq!(parse_arch(&args(&["--arch=cpu"])), Ok("CPU"));
+        assert_eq!(parse_arch(&args(&["--arch=CPU"])), Ok("CPU"));
+        assert_eq!(parse_arch(&args(&["--arch=ReCross"])), Ok("ReCross"));
+        let err = parse_arch(&args(&["--arch=tpu"])).unwrap_err();
+        assert_eq!(err, "--arch expects cpu|recross, got \"tpu\"");
+    }
+
+    #[test]
+    fn load_parses_and_defaults() {
+        assert_eq!(parse_load(&args(&["serve"])), Ok(DEFAULT_LOAD));
+        assert_eq!(parse_load(&args(&["--load=0.5"])), Ok(0.5));
+        // Overload points are allowed: that is where shedding happens.
+        assert_eq!(parse_load(&args(&["--load=1.4"])), Ok(1.4));
+        for bad in ["banana", "0", "-1", "nan", "inf", ""] {
+            let err = parse_load(&args(&[&format!("--load={bad}")])).unwrap_err();
+            assert_eq!(
+                err,
+                format!("--load expects a positive capacity fraction, got {bad:?}"),
+            );
+        }
+    }
+
+    #[test]
+    fn obs_summary_three_forms() {
+        assert_eq!(parse_obs_summary(&args(&["serve"])), ObsSummary::Off);
+        assert_eq!(
+            parse_obs_summary(&args(&["serve", "--obs-summary"])),
+            ObsSummary::Stdout
+        );
+        assert_eq!(
+            parse_obs_summary(&args(&["--obs-summary=/tmp/o.json"])),
+            ObsSummary::File("/tmp/o.json")
+        );
+        // The file form wins over a bare flag regardless of order.
+        assert_eq!(
+            parse_obs_summary(&args(&["--obs-summary", "--obs-summary=x.json"])),
+            ObsSummary::File("x.json")
+        );
     }
 
     #[test]

@@ -1,0 +1,236 @@
+//! Closed-loop trace capture for `repro run`: run the standard workload
+//! batch-by-batch through one prepared accelerator session, record every
+//! DRAM command, and export a unified timeline plus bottleneck
+//! attribution.
+//!
+//! This is the closed-loop sibling of the serving tracer
+//! ([`recross_serve::ServeObs`]): no arrivals or queues, just the fixed
+//! trace run back-to-back — batch `i+1` starts the cycle batch `i`
+//! finishes. The recorder carries one `engine` track with a span per
+//! batch and, under a `DRAM channel 0` root, the per-bank command tracks
+//! and per-region PE/DQ occupancy tracks from
+//! [`recross_dram::traceviz`]. Commands are priced by
+//! [`service_traced`](recross_nmp::session::ServiceSession::service_traced),
+//! so the reported cycles match an untraced run of the same trace
+//! exactly, and everything is deterministic in the seed — reruns are
+//! byte-identical.
+
+use recross_dram::attribution::{summarize, CommandAttribution};
+use recross_dram::traceviz::{dram_tracks, record_commands};
+use recross_dram::{Cycle, DramConfig, IssuedCommand};
+use recross_nmp::multichannel::ChannelPlan;
+use recross_obs::{chrome_trace_string, Recorder};
+use recross_serve::report::{fmt_f64, json_string};
+
+use crate::serving::arch_sessions;
+use crate::workloads::{dram, generator, Scale};
+
+/// A captured closed-loop run: per-batch cycle costs, the full
+/// (dispatch-time-shifted) DRAM command trace, and the recorder holding
+/// the unified timeline.
+#[derive(Debug)]
+pub struct RunTrace {
+    /// Architecture name as it appears in the reports.
+    pub arch: String,
+    /// The session's concrete engine name (e.g. `ReCross-d`).
+    pub engine: String,
+    /// `(batch index, start cycle, service cycles)` per batch, in run
+    /// order.
+    pub batches: Vec<(usize, Cycle, Cycle)>,
+    /// Total run length in DRAM cycles (the last batch's end).
+    pub total_cycles: Cycle,
+    /// Every DRAM command of the run, shifted to its batch's dispatch
+    /// cycle.
+    pub commands: Vec<IssuedCommand>,
+    /// Total embedding lookups serviced.
+    pub lookups: u64,
+    recorder: Recorder,
+    dram: DramConfig,
+}
+
+impl RunTrace {
+    /// Cycle-level bottleneck attribution over the whole command trace
+    /// (C/A bus vs data bus vs tRCD/tRP overlap vs bank conflicts).
+    pub fn attribution(&self) -> CommandAttribution {
+        CommandAttribution::from_commands(&self.commands, &self.dram, self.total_cycles)
+    }
+
+    /// The unified Perfetto / Chrome-trace timeline (engine batch spans +
+    /// per-bank DRAM command tracks) as a JSON string.
+    pub fn perfetto(&self) -> String {
+        chrome_trace_string(&self.recorder, self.dram.cycles_to_ns(1))
+    }
+
+    /// The original single-channel DRAM-command Chrome trace (bank tracks
+    /// only, no engine spans), via
+    /// [`recross_dram::traceviz::write_chrome_trace`] — the `--dram-trace`
+    /// compatibility format.
+    pub fn dram_chrome_trace(&self) -> String {
+        let mut buf = Vec::new();
+        recross_dram::traceviz::write_chrome_trace(&self.commands, &self.dram, &mut buf)
+            .expect("writing to a Vec cannot fail");
+        String::from_utf8(buf).expect("exporter emits UTF-8")
+    }
+
+    /// One human-readable attribution summary line.
+    pub fn summary_line(&self) -> String {
+        summarize(&self.arch, &self.attribution())
+    }
+
+    /// The run as one JSON document: metadata envelope, per-batch cycle
+    /// costs, and the bottleneck attribution under `"dram"`
+    /// (deterministic bytes for a given input).
+    pub fn to_json(&self, scale: Scale, seed: u64) -> String {
+        let scale_name = match scale {
+            Scale::Paper => "paper",
+            Scale::Quick => "quick",
+            Scale::Tiny => "tiny",
+        };
+        let batches: Vec<String> = self
+            .batches
+            .iter()
+            .map(|(i, start, cycles)| {
+                format!("{{\"batch\":{i},\"start_cycle\":{start},\"cycles\":{cycles}}}")
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"experiment\":\"run_trace\",\"scale\":{},\"arch\":{},",
+                "\"engine\":{},",
+                "\"seed\":{},\"batches\":[{}],\"total_cycles\":{},",
+                "\"commands\":{},\"throughput_lookups_per_cycle\":{},",
+                "\"dram\":{}}}"
+            ),
+            json_string(scale_name),
+            json_string(&self.arch),
+            json_string(&self.engine),
+            seed,
+            batches.join(","),
+            self.total_cycles,
+            self.commands.len(),
+            fmt_f64(self.lookups as f64 / self.total_cycles.max(1) as f64),
+            self.attribution().to_json()
+        )
+    }
+}
+
+/// Runs the standard workload (dim-64 trace at the given scale and seed)
+/// closed-loop through the named architecture's prepared session,
+/// capturing the full command trace. The whole trace maps to one channel
+/// (closed-loop runs are single-server; the serving path is where
+/// multi-channel sharding lives). `max_batches` caps how many trace
+/// batches are traced (0 means all).
+pub fn closed_loop_trace(scale: Scale, arch: &str, seed: u64, max_batches: usize) -> RunTrace {
+    let d = dram();
+    let mut trace = generator(scale, 64).generate(seed);
+    if max_batches > 0 {
+        trace.batches.truncate(max_batches);
+    }
+    let plan = ChannelPlan::balance_by_load(&trace, 1);
+    let batch_hint = scale.batch_size() as f64;
+    let session = &mut arch_sessions(arch, &trace, &plan, batch_hint)[0];
+
+    let mut rec = Recorder::new();
+    let engine = rec.track("engine", None);
+    let ch_root = rec.track("DRAM channel 0", None);
+    let mut tracks = dram_tracks(&mut rec, ch_root, &d);
+
+    let mut cursor: Cycle = 0;
+    let mut batches = Vec::with_capacity(trace.batches.len());
+    let mut commands = Vec::new();
+    let mut lookups: u64 = 0;
+    for (i, b) in trace.batches.iter().enumerate() {
+        let (cycles, trace_cmds) = session.service_traced(b);
+        rec.span(
+            engine,
+            &format!("batch#{i} ({} lookups)", b.ops.len()),
+            cursor,
+            cursor + cycles,
+        );
+        record_commands(&mut rec, &mut tracks, &d, &trace_cmds, cursor);
+        commands.extend(trace_cmds.into_iter().map(|mut ic| {
+            ic.cycle += cursor;
+            ic
+        }));
+        batches.push((i, cursor, cycles));
+        lookups += b.ops.len() as u64;
+        cursor += cycles;
+    }
+    debug_assert_eq!(rec.validate(), Ok(()));
+
+    RunTrace {
+        arch: arch.to_string(),
+        engine: session.name().to_string(),
+        batches,
+        total_cycles: cursor,
+        commands,
+        recorder: rec,
+        dram: d,
+        lookups,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn closed_loop_trace_is_consistent_and_deterministic() {
+        let rt = closed_loop_trace(Scale::Tiny, "ReCross", 0xD17A, 0);
+        assert_eq!(rt.arch, "ReCross");
+        assert_eq!(rt.engine, "ReCross-d");
+        assert!(!rt.batches.is_empty());
+        assert!(rt.total_cycles > 0);
+        assert!(!rt.commands.is_empty());
+        // Batches tile the run back-to-back.
+        let mut expect = 0;
+        for &(_, start, cycles) in &rt.batches {
+            assert_eq!(start, expect);
+            expect += cycles;
+        }
+        assert_eq!(expect, rt.total_cycles);
+        // Attribution covers the run (display durations may spill past
+        // the last command's issue cycle).
+        let a = rt.attribution();
+        assert!(a.span >= rt.total_cycles);
+        assert!(a.reads > 0);
+
+        let rt2 = closed_loop_trace(Scale::Tiny, "ReCross", 0xD17A, 0);
+        assert_eq!(rt.perfetto(), rt2.perfetto(), "same seed, same bytes");
+        assert_eq!(
+            rt.to_json(Scale::Tiny, 0xD17A),
+            rt2.to_json(Scale::Tiny, 0xD17A)
+        );
+    }
+
+    #[test]
+    fn traced_cycles_match_untraced_run() {
+        // Pricing through service_traced must equal plain service.
+        let trace = generator(Scale::Tiny, 64).generate(7);
+        let plan = ChannelPlan::balance_by_load(&trace, 1);
+        let session = &mut arch_sessions("CPU", &trace, &plan, 2.0)[0];
+        let plain: Cycle = trace.batches.iter().map(|b| session.service(b)).sum();
+        let rt = closed_loop_trace(Scale::Tiny, "CPU", 7, 0);
+        assert_eq!(rt.total_cycles, plain);
+    }
+
+    #[test]
+    fn json_and_exports_are_well_formed() {
+        let rt = closed_loop_trace(Scale::Tiny, "CPU", 3, 1);
+        assert_eq!(rt.batches.len(), 1, "max_batches caps the run");
+        let json = rt.to_json(Scale::Tiny, 3);
+        assert!(json.contains("\"experiment\":\"run_trace\""));
+        assert!(json.contains("\"arch\":\"CPU\""));
+        assert!(json.contains("\"dram\":{"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        let p = rt.perfetto();
+        assert!(p.contains("\"engine\""));
+        assert!(p.contains("rank 0 / bg 0 / bank 0"));
+        assert!(p.contains("batch#0"));
+        // Legacy exporter carries the same commands, banks only.
+        let legacy = rt.dram_chrome_trace();
+        assert!(legacy.contains("rank 0 / bg 0 / bank 0"));
+        assert!(!legacy.contains("\"engine\""));
+        assert!(rt.summary_line().contains("CPU"));
+    }
+}

@@ -23,8 +23,9 @@ use recross_nmp::session::ServiceSession;
 use recross_nmp::{AccessProfile, CpuBaseline};
 use recross_serve::report::{fmt_f64, json_string};
 use recross_serve::{
-    open_sessions, simulate_sessions, simulate_tenant_sessions, ArrivalProcess, BatcherConfig,
-    QueuePolicy, ServeReport, SloReport, TenantMix, TenantSloReport,
+    open_sessions, simulate_sessions, simulate_sessions_obs, simulate_tenant_sessions,
+    simulate_tenant_sessions_obs, ArrivalProcess, BatcherConfig, ObsReport, QueuePolicy,
+    ServeObs, ServeReport, SloReport, TenantMix, TenantSloReport,
 };
 use recross_workload::{Batch, Trace};
 
@@ -142,7 +143,7 @@ fn make_recross(sub: &Trace, batch_hint: f64) -> ReCross {
 }
 
 /// Opens one prepared session per channel for the named architecture.
-fn arch_sessions(
+pub(crate) fn arch_sessions(
     arch: &str,
     trace: &Trace,
     plan: &ChannelPlan,
@@ -558,6 +559,134 @@ pub fn tenant_slo_to_json(
     )
 }
 
+/// One traced serving run at a single offered-load point: the ordinary
+/// [`ServeReport`] (byte-identical to an untraced run of the same seed),
+/// the cross-layer [`ObsReport`] with bottleneck attribution, and the
+/// unified Perfetto timeline.
+#[derive(Debug, Clone)]
+pub struct TracedPoint {
+    /// Architecture name as it appears in the reports.
+    pub arch: String,
+    /// Offered load as a fraction of `capacity_qps`.
+    pub load: f64,
+    /// Estimated saturation rate (requests/s) the load fraction scales.
+    pub capacity_qps: f64,
+    /// Offered rate actually simulated (`capacity_qps * load`).
+    pub offered_qps: f64,
+    /// Whether per-command DRAM tracks were recorded.
+    pub dram_trace: bool,
+    /// The ordinary serving report.
+    pub report: ServeReport,
+    /// The cross-layer observability report.
+    pub obs: ObsReport,
+    /// The Perfetto / Chrome-trace timeline, as a JSON string.
+    pub perfetto: String,
+}
+
+/// Runs one traced serving point for a single architecture at
+/// `load × capacity`: the same workload, channel plan, and batcher as the
+/// sweeps ([`tenant_batcher_config`] when `mix` is given, otherwise
+/// [`batcher_config`]), but through the observed simulation entry points,
+/// yielding a request-to-DRAM-command timeline alongside the report.
+/// `dram_trace=false` keeps the request/batch timeline but skips the
+/// per-command bank tracks (and re-running each batch traced).
+/// Deterministic in `seed` — reruns are byte-identical.
+#[allow(clippy::too_many_arguments)]
+pub fn traced_point(
+    scale: Scale,
+    arch: &str,
+    mix: Option<&TenantMix>,
+    load: f64,
+    bursty: bool,
+    policy: QueuePolicy,
+    seed: u64,
+    dram_trace: bool,
+) -> TracedPoint {
+    let d = dram();
+    let cps = d.cycles_per_sec();
+    let n = requests_for(scale);
+    let trace = generator(scale, 64).batch_size(1).batches(n).generate(seed);
+    let plan = ChannelPlan::balance_by_load(&trace, CHANNELS);
+    let cfg = match mix {
+        Some(_) => tenant_batcher_config(policy),
+        None => batcher_config(policy),
+    };
+
+    let mut sessions = arch_sessions(arch, &trace, &plan, cfg.max_batch as f64);
+    let capacity = estimate_capacity_qps(&trace, &plan, cfg.max_batch, cps, &mut sessions);
+    let qps = capacity * load;
+
+    let mut obs = ServeObs::new(d);
+    obs.set_dram_trace(dram_trace);
+    let report = match mix {
+        Some(m) => {
+            let requests = m.requests(n, qps, cps, seed ^ 0xA221);
+            simulate_tenant_sessions_obs(
+                arch, &trace, &plan, &requests, m, cfg, cps, &mut sessions, &mut obs,
+            )
+        }
+        None => {
+            let arrivals = arrivals_at(qps, n, cps, bursty, seed);
+            simulate_sessions_obs(arch, &trace, &plan, &arrivals, cfg, cps, &mut sessions, &mut obs)
+        }
+    };
+    let obs_report = obs.obs_report(&report);
+    let perfetto = obs.chrome_trace_string();
+    TracedPoint {
+        arch: arch.to_string(),
+        load,
+        capacity_qps: capacity,
+        offered_qps: qps,
+        dram_trace,
+        report,
+        obs: obs_report,
+        perfetto,
+    }
+}
+
+/// A traced point as one JSON document: the run's metadata envelope, the
+/// ordinary serving report under `"serve"`, and the observability report
+/// under `"obs"` (deterministic bytes for a given input — CI
+/// byte-compares two runs).
+pub fn traced_point_to_json(
+    point: &TracedPoint,
+    scale: Scale,
+    mix: Option<&TenantMix>,
+    bursty: bool,
+    policy: QueuePolicy,
+    seed: u64,
+) -> String {
+    let arrival = match mix {
+        Some(m) => format!("\"tenant_classes\":{}", mix_to_json(m)),
+        None => format!(
+            "\"arrival\":{}",
+            json_string(if bursty { "bursty" } else { "poisson" })
+        ),
+    };
+    format!(
+        concat!(
+            "{{\"experiment\":\"serve_trace_point\",\"scale\":{},",
+            "\"arch\":{},{},\"policy\":{},\"seed\":{},\"channels\":{},",
+            "\"requests\":{},\"load\":{},\"capacity_qps\":{},",
+            "\"offered_qps\":{},\"dram_trace\":{},",
+            "\"serve\":{},\"obs\":{}}}"
+        ),
+        json_string(scale_name(scale)),
+        json_string(&point.arch),
+        arrival,
+        json_string(policy.kind()),
+        seed,
+        CHANNELS,
+        requests_for(scale),
+        fmt_f64(point.load),
+        fmt_f64(point.capacity_qps),
+        fmt_f64(point.offered_qps),
+        point.dram_trace,
+        point.report.to_json(),
+        point.obs.to_json()
+    )
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +834,64 @@ mod tests {
         assert!(a.contains("\"tenant_classes\":[{\"name\":\"rt\""));
         assert!(a.contains("\"policy\":\"edf\""));
         assert_eq!(a.matches('{').count(), a.matches('}').count());
+    }
+
+    #[test]
+    fn traced_point_matches_untraced_sweep_point() {
+        // The traced run and the plain sweep at the same fraction must
+        // price identically: tracing never perturbs the simulation.
+        let (seed, load) = (0x90, 0.8);
+        let p = traced_point(
+            Scale::Tiny,
+            "ReCross",
+            None,
+            load,
+            false,
+            QueuePolicy::Fifo,
+            seed,
+            true,
+        );
+        let sweeps = qps_sweep_at(Scale::Tiny, &[load], false, QueuePolicy::Fifo, seed);
+        let plain = &sweeps[1]; // [CPU, ReCross]
+        assert_eq!(plain.arch, "ReCross");
+        assert_eq!(p.capacity_qps, plain.capacity_qps);
+        assert_eq!(p.report.to_json(), plain.points[0].1.to_json());
+        // The obs side is consistent with the report.
+        assert_eq!(p.obs.requests, p.report.requests);
+        assert_eq!(p.obs.channels.len(), CHANNELS);
+        assert!(p.perfetto.contains("\"ph\":\"X\""));
+        assert!(p.perfetto.contains("rank 0 / bg 0 / bank 0"));
+    }
+
+    #[test]
+    fn traced_tenant_point_is_byte_identical_across_reruns() {
+        let mix = test_mix();
+        let go = || {
+            let p = traced_point(
+                Scale::Tiny,
+                "CPU",
+                Some(&mix),
+                1.2,
+                false,
+                QueuePolicy::Edf,
+                0x91,
+                false,
+            );
+            (
+                traced_point_to_json(&p, Scale::Tiny, Some(&mix), false, QueuePolicy::Edf, 0x91),
+                p.perfetto,
+            )
+        };
+        let (a, b) = (go(), go());
+        assert_eq!(a.0, b.0, "same seed, same report bytes");
+        assert_eq!(a.1, b.1, "same seed, same timeline bytes");
+        assert!(a.0.contains("\"experiment\":\"serve_trace_point\""));
+        assert!(a.0.contains("\"tenant_classes\":[{\"name\":\"rt\""));
+        assert!(a.0.contains("\"dram_trace\":false"));
+        assert_eq!(a.0.matches('{').count(), a.0.matches('}').count());
+        // Timeline-only mode: no per-command bank tracks.
+        assert!(a.1.contains("tenant: rt"));
+        assert!(!a.1.contains("bank 0"));
     }
 
     #[test]

@@ -347,18 +347,19 @@ impl EmbeddingAccelerator for ReCross {
         // tables, region carve-out — is already resolved in `self`; the
         // session deep-copies it once and reuses it for every batch.
         let system = self.clone();
-        let engine_cfg = self.engine_config();
+        let mut engine_cfg = self.engine_config();
         let mut trace = Trace {
             tables: tables.to_vec(),
             batches: Vec::new(),
         };
         Box::new(MemoizedSession::new(
             self.cfg.name.clone(),
-            Box::new(move |batch: &Batch| {
+            Box::new(move |batch: &Batch, traced: bool| {
                 trace.batches.clear();
                 trace.batches.push(batch.clone());
+                engine_cfg.trace_commands = traced;
                 let plans = system.plans(&trace);
-                execute(&engine_cfg, &trace, &plans).cycles
+                execute(&engine_cfg, &trace, &plans).into()
             }),
         ))
     }

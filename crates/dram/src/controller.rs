@@ -133,6 +133,10 @@ pub struct RunStats {
     pub issued: [u64; 6],
     /// Per-flat-bank request loads (for imbalance analysis).
     pub bank_loads: Vec<u64>,
+    /// Cycles the channel data bus (host-facing DQ pins) carried bursts:
+    /// every reservation that crosses the channel scope — host-bound
+    /// reads and NMP result returns — adds its burst duration here.
+    pub data_bus_busy: Cycle,
     /// Energy event counters.
     pub energy: EnergyCounters,
 }
@@ -145,6 +149,18 @@ impl RunStats {
             0.0
         } else {
             self.row_hits as f64 / total as f64
+        }
+    }
+
+    /// Channel data-bus utilization as a fraction of the run:
+    /// `data_bus_busy / finish`, 0 for an empty run. Unlike the raw cycle
+    /// counter this is directly comparable across runs of different
+    /// lengths (the Fig. 12-style bus-saturation analyses).
+    pub fn bus_utilization(&self) -> f64 {
+        if self.finish == 0 {
+            0.0
+        } else {
+            self.data_bus_busy as f64 / self.finish as f64
         }
     }
 }
@@ -389,6 +405,7 @@ impl Controller {
         let dur = Cycle::from(bursts) * self.cfg.timing.t_bl;
         let start = self.channel_bus.earliest(0, not_before);
         self.channel_bus.reserve(0, start, dur);
+        self.stats.data_bus_busy += dur;
         start + dur
     }
 
@@ -736,6 +753,7 @@ impl Controller {
         }
         if use_c {
             self.channel_bus.reserve(0, start, dur);
+            self.stats.data_bus_busy += dur;
         }
         start + dur
     }
@@ -1080,6 +1098,36 @@ mod tests {
         let e = &ctl.stats().energy;
         assert_eq!(e.rd_wr_bits, 4 * 64 * 8);
         assert_eq!(e.io_bits, 2 * 64 * 8);
+    }
+
+    #[test]
+    fn bus_utilization_matches_hand_computed_two_read_schedule() {
+        // Two single-burst host-bound reads on different ranks: the row
+        // activations overlap, the two data bursts serialize on the one
+        // channel bus. Hand schedule: first burst lands at
+        // tRCD + tCL + tBL, the second streams right behind it, so the
+        // run finishes at tRCD + tCL + 2·tBL with the data bus busy for
+        // exactly 2·tBL of those cycles.
+        let c = cfg();
+        let t = c.timing;
+        let mut ctl = Controller::new(c, SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 1, 0, 1, BusScope::Channel));
+        ctl.enqueue(req(2, 1, 0, 0, 1, 0, 1, BusScope::Channel));
+        ctl.run();
+        let stats = ctl.stats();
+        assert_eq!(stats.finish, t.t_rcd + t.t_cl + 2 * t.t_bl);
+        assert_eq!(stats.data_bus_busy, 2 * t.t_bl);
+        let expect = (2 * t.t_bl) as f64 / (t.t_rcd + t.t_cl + 2 * t.t_bl) as f64;
+        assert!((stats.bus_utilization() - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bank_bound_reads_leave_the_channel_bus_idle() {
+        let mut ctl = Controller::new(cfg(), SchedulePolicy::FrFcfs);
+        ctl.enqueue(req(1, 0, 0, 0, 1, 0, 4, BusScope::Bank));
+        ctl.run();
+        assert_eq!(ctl.stats().data_bus_busy, 0);
+        assert_eq!(ctl.stats().bus_utilization(), 0.0);
     }
 
     #[test]

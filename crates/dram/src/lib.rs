@@ -38,6 +38,7 @@
 //! ```
 
 pub mod addr;
+pub mod attribution;
 pub mod bus;
 pub mod check;
 pub mod command;
@@ -49,9 +50,11 @@ pub mod timing;
 pub mod traceviz;
 
 pub use addr::{AddressMapper, PhysAddr};
+pub use attribution::{CommandAttribution, PeBusy};
 pub use command::{Command, CommandKind, DataScope, IssuedCommand};
 pub use config::{Cycle, DramConfig, EnergyParams, TimingParams, Topology};
 pub use controller::{BusScope, Completion, Controller, ReadRequest, RunStats, SchedulePolicy};
 pub use energy::{EnergyBreakdown, EnergyCounters};
 pub use power::{IddParams, PowerReport};
 pub use timing::{TimingError, TimingState};
+pub use traceviz::{dram_tracks, record_commands, DramTracks};

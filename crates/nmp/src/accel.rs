@@ -82,6 +82,11 @@ pub struct RunReport {
     /// Per-batch latency percentiles (completion − arrival; closed-loop
     /// runs measure completion − previous-batch floor).
     pub batch_latency: LatencySummary,
+    /// Full DRAM command trace, cycle-sorted — populated only when
+    /// [`EngineConfig::trace_commands`](crate::engine::EngineConfig) is
+    /// set (the observability path feeding obs tracks and
+    /// `recross_dram::CommandAttribution`).
+    pub commands: Option<Vec<recross_dram::IssuedCommand>>,
 }
 
 impl RunReport {

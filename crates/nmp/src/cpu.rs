@@ -133,18 +133,19 @@ impl EmbeddingAccelerator for CpuBaseline {
     fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
         let layout = TableLayout::pack(self.dram.topology, tables, 0);
         let entries = self.llc_entries(tables);
-        let cfg = self.engine_config();
+        let mut cfg = self.engine_config();
         let mut trace = Trace {
             tables: tables.to_vec(),
             batches: Vec::new(),
         };
         Box::new(MemoizedSession::new(
             "CPU",
-            Box::new(move |batch: &Batch| {
+            Box::new(move |batch: &Batch, traced: bool| {
                 trace.batches.clear();
                 trace.batches.push(batch.clone());
+                cfg.trace_commands = traced;
                 let plans = Self::plans_prepared(&layout, entries, &trace);
-                execute(&cfg, &trace, &plans).cycles
+                execute(&cfg, &trace, &plans).into()
             }),
         ))
     }

@@ -85,6 +85,11 @@ pub struct EngineConfig {
     /// batch). A batch may not start before its arrival; per-batch latency
     /// = completion − arrival. `None` = closed-loop (back-to-back batches).
     pub batch_arrivals: Option<Vec<Cycle>>,
+    /// Record the full DRAM command trace into
+    /// [`RunReport::commands`](crate::accel::RunReport::commands) (the
+    /// observability path). Off by default: recording allocates per
+    /// command, so keep it disabled on untraced hot paths.
+    pub trace_commands: bool,
 }
 
 impl EngineConfig {
@@ -103,6 +108,7 @@ impl EngineConfig {
             max_inflight_ops: Some(64),
             reduction: Reduction::WeightedSum,
             batch_arrivals: None,
+            trace_commands: false,
         }
     }
 }
@@ -121,6 +127,9 @@ pub fn execute(cfg: &EngineConfig, trace: &Trace, plans: &[LookupPlan]) -> RunRe
     let mut ctl = Controller::new(cfg.dram.clone(), cfg.policy).with_bank_window(cfg.bank_window);
     if let Some(w) = cfg.global_window {
         ctl = ctl.with_global_window(w);
+    }
+    if cfg.trace_commands {
+        ctl.record_trace();
     }
     let mut inst_bus = cfg.inst_bits.map(|bits| {
         let pins = if cfg.two_stage_inst {
@@ -302,6 +311,7 @@ pub fn execute(cfg: &EngineConfig, trace: &Trace, plans: &[LookupPlan]) -> RunRe
         cache_hits,
         op_latency: crate::accel::LatencySummary::from_latencies(&op_latencies),
         batch_latency: crate::accel::LatencySummary::from_latencies(&batch_latencies),
+        commands: ctl.trace(),
     }
 }
 
@@ -433,6 +443,21 @@ mod tests {
         assert_eq!(report.counters.activations, 0);
         // Results still return over the channel.
         assert!(report.counters.io_bits > 0);
+    }
+
+    #[test]
+    fn trace_commands_captures_the_schedule_without_changing_it() {
+        let trace = small_trace();
+        let mut cfg = EngineConfig::nmp("test", DramConfig::ddr5_4800(), 2);
+        let plans = plans_for(&trace, BusScope::Rank, 2);
+        let plain = execute(&cfg, &trace, &plans);
+        cfg.trace_commands = true;
+        let traced = execute(&cfg, &trace, &plans);
+        assert_eq!(traced.cycles, plain.cycles, "tracing must not perturb timing");
+        assert!(plain.commands.is_none(), "untraced runs carry no commands");
+        let commands = traced.commands.expect("traced run records commands");
+        assert!(!commands.is_empty());
+        assert!(commands.windows(2).all(|w| w[0].cycle <= w[1].cycle));
     }
 
     #[test]

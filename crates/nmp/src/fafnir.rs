@@ -122,7 +122,7 @@ impl EmbeddingAccelerator for Fafnir {
     fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
         let assign = self.assign_tables(tables);
         let layout = self.rank_layout(tables);
-        let cfg = EngineConfig::nmp(
+        let mut cfg = EngineConfig::nmp(
             "FAFNIR",
             self.dram.clone(),
             self.dram.topology.ranks as usize,
@@ -133,11 +133,12 @@ impl EmbeddingAccelerator for Fafnir {
         };
         Box::new(MemoizedSession::new(
             "FAFNIR",
-            Box::new(move |batch: &Batch| {
+            Box::new(move |batch: &Batch, traced: bool| {
                 trace.batches.clear();
                 trace.batches.push(batch.clone());
+                cfg.trace_commands = traced;
                 let plans = Self::plans_prepared(&assign, &layout, &trace);
-                execute(&cfg, &trace, &plans).cycles
+                execute(&cfg, &trace, &plans).into()
             }),
         ))
     }

@@ -53,7 +53,7 @@ pub mod tensordimm;
 pub mod trim;
 
 pub use accel::{EmbeddingAccelerator, LatencySummary, RunReport};
-pub use session::{MemoizedSession, ServiceSession, SessionStats, DEFAULT_MEMO_CAPACITY};
+pub use session::{MemoizedSession, ServiceSession, Serviced, SessionStats, DEFAULT_MEMO_CAPACITY};
 pub use cost::{AreaModel, AreaParams, AreaReport};
 pub use cpu::CpuBaseline;
 pub use engine::{execute, internal_bandwidth, EngineConfig, LookupPlan, PlacedRead};

@@ -125,18 +125,19 @@ impl EmbeddingAccelerator for RecNmp {
         let layout = TableLayout::pack(self.dram.topology, tables, 0);
         let entries = self.cache_entries(tables);
         let ranks = self.dram.topology.ranks;
-        let cfg = EngineConfig::nmp("RecNMP", self.dram.clone(), ranks as usize);
+        let mut cfg = EngineConfig::nmp("RecNMP", self.dram.clone(), ranks as usize);
         let mut trace = Trace {
             tables: tables.to_vec(),
             batches: Vec::new(),
         };
         Box::new(MemoizedSession::new(
             "RecNMP",
-            Box::new(move |batch: &Batch| {
+            Box::new(move |batch: &Batch, traced: bool| {
                 trace.batches.clear();
                 trace.batches.push(batch.clone());
+                cfg.trace_commands = traced;
                 let plans = Self::plans_prepared(&layout, entries, ranks, &trace);
-                execute(&cfg, &trace, &plans).cycles
+                execute(&cfg, &trace, &plans).into()
             }),
         ))
     }

@@ -36,7 +36,7 @@
 
 use std::collections::HashMap;
 
-use recross_dram::Cycle;
+use recross_dram::{Cycle, IssuedCommand};
 use recross_workload::Batch;
 
 use crate::cache::LruCache;
@@ -76,6 +76,28 @@ impl SessionStats {
     }
 }
 
+/// Result of pricing one batch through a session's uncached path.
+///
+/// `commands` is populated only when the caller asked for a traced run
+/// (the observability path); the untraced hot path always carries `None`
+/// so pricing allocates nothing trace-related.
+#[derive(Debug, Clone, Default)]
+pub struct Serviced {
+    /// Cycles to service the batch.
+    pub cycles: Cycle,
+    /// Full DRAM command trace of the batch, when traced.
+    pub commands: Option<Vec<IssuedCommand>>,
+}
+
+impl From<crate::accel::RunReport> for Serviced {
+    fn from(report: crate::accel::RunReport) -> Self {
+        Serviced {
+            cycles: report.cycles,
+            commands: report.commands,
+        }
+    }
+}
+
 /// A prepared serving session for one accelerator and one table universe.
 ///
 /// Obtained from [`EmbeddingAccelerator::open_session`]. The session owns
@@ -91,6 +113,14 @@ pub trait ServiceSession {
     /// Cycles to service one dispatched batch. The batch's `op.table`
     /// indices refer into the table universe the session was opened for.
     fn service(&mut self, batch: &Batch) -> Cycle;
+
+    /// Prices the batch exactly like [`service`](Self::service) — same
+    /// returned cycles, same memo-cache accounting — and additionally
+    /// returns the batch's full DRAM command trace from an uncached
+    /// traced re-run. The traced run never touches the memo, so a traced
+    /// serving simulation reports byte-identical `ServeReport`s to an
+    /// untraced one on the same seed.
+    fn service_traced(&mut self, batch: &Batch) -> (Cycle, Vec<IssuedCommand>);
 
     /// Cumulative memo-cache hit/miss/eviction counters for this session.
     fn stats(&self) -> SessionStats;
@@ -142,6 +172,11 @@ pub fn batch_signature(batch: &Batch) -> Vec<u64> {
     sig
 }
 
+/// A prepared uncached pricing function: `(batch, traced)` → cycles (+
+/// the DRAM command trace when `traced`). Must be deterministic —
+/// identical inputs price identically.
+pub type ServiceFn = Box<dyn FnMut(&Batch, bool) -> Serviced>;
+
 /// The shared [`ServiceSession`] implementation: a prepared uncached
 /// pricing function plus the exact memo cache.
 ///
@@ -149,7 +184,9 @@ pub fn batch_signature(batch: &Batch) -> Vec<u64> {
 /// its resolved layout/placement state into the `uncached` closure.
 pub struct MemoizedSession {
     name: String,
-    uncached: Box<dyn FnMut(&Batch) -> Cycle>,
+    /// Prepared pricing function: `(batch, traced)` → cycles (+ the DRAM
+    /// command trace when `traced`).
+    uncached: ServiceFn,
     cache: HashMap<Vec<u64>, Cycle>,
     /// Recency list over the memoized signatures; its fixed capacity is the
     /// memo bound, and its evictions name the signature to drop.
@@ -178,7 +215,7 @@ impl MemoizedSession {
     ///
     /// The memo holds at most [`DEFAULT_MEMO_CAPACITY`] signatures; see
     /// [`ServiceSession::set_cache_capacity`].
-    pub fn new(name: impl Into<String>, uncached: Box<dyn FnMut(&Batch) -> Cycle>) -> Self {
+    pub fn new(name: impl Into<String>, uncached: ServiceFn) -> Self {
         Self {
             name: name.into(),
             uncached,
@@ -208,7 +245,7 @@ impl ServiceSession for MemoizedSession {
     fn service(&mut self, batch: &Batch) -> Cycle {
         if !self.enabled {
             self.stats.misses += 1;
-            return (self.uncached)(batch);
+            return (self.uncached)(batch, false).cycles;
         }
         let sig = batch_signature(batch);
         if let Some(&cycles) = self.cache.get(&sig) {
@@ -216,7 +253,7 @@ impl ServiceSession for MemoizedSession {
             self.lru.touch(sig);
             return cycles;
         }
-        let cycles = (self.uncached)(batch);
+        let cycles = (self.uncached)(batch, false).cycles;
         let (_, evicted) = self.lru.touch_evict(sig.clone());
         if let Some(victim) = evicted {
             self.cache.remove(&victim);
@@ -225,6 +262,20 @@ impl ServiceSession for MemoizedSession {
         self.cache.insert(sig, cycles);
         self.stats.misses += 1;
         cycles
+    }
+
+    fn service_traced(&mut self, batch: &Batch) -> (Cycle, Vec<IssuedCommand>) {
+        // Normal pricing first, so hit/miss/eviction accounting is
+        // bit-identical to an untraced run...
+        let cycles = self.service(batch);
+        // ...then a traced re-run outside the memo for the commands. The
+        // uncached path is deterministic, so the re-run prices identically.
+        let traced = (self.uncached)(batch, true);
+        debug_assert_eq!(
+            traced.cycles, cycles,
+            "traced re-run must price identically to the memoized path"
+        );
+        (cycles, traced.commands.unwrap_or_default())
     }
 
     fn stats(&self) -> SessionStats {
@@ -367,6 +418,30 @@ mod tests {
         let mut session =
             CpuBaseline::new(DramConfig::ddr5_4800()).open_session(&t.tables);
         session.set_cache_capacity(0);
+    }
+
+    /// `service_traced` returns the same cycles as `service`, keeps the
+    /// cache accounting identical to an untraced session, and yields the
+    /// batch's cycle-sorted command trace.
+    #[test]
+    fn traced_service_prices_identically_and_returns_commands() {
+        let t = trace();
+        let accel = CpuBaseline::new(DramConfig::ddr5_4800());
+        let mut plain = accel.open_session(&t.tables);
+        let mut traced = accel.open_session(&t.tables);
+        for b in &t.batches {
+            let want = plain.service(b);
+            let (got, commands) = traced.service_traced(b);
+            assert_eq!(got, want, "traced pricing must match untraced");
+            assert!(!commands.is_empty(), "a real batch issues DRAM commands");
+            assert!(commands.windows(2).all(|w| w[0].cycle <= w[1].cycle));
+        }
+        assert_eq!(plain.stats(), traced.stats(), "identical accounting");
+        // A replay hits the memo for cycles and still produces commands.
+        let (again, commands) = traced.service_traced(&t.batches[0]);
+        assert_eq!(again, plain.service(&t.batches[0]));
+        assert!(!commands.is_empty());
+        assert_eq!(traced.stats().hits, plain.stats().hits);
     }
 
     #[test]

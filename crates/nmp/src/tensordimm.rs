@@ -115,18 +115,19 @@ impl EmbeddingAccelerator for TensorDimm {
     fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
         let layout = self.rank_layout(tables);
         let ranks = self.dram.topology.ranks;
-        let cfg = EngineConfig::nmp("TensorDIMM", self.dram.clone(), ranks as usize);
+        let mut cfg = EngineConfig::nmp("TensorDIMM", self.dram.clone(), ranks as usize);
         let mut trace = Trace {
             tables: tables.to_vec(),
             batches: Vec::new(),
         };
         Box::new(MemoizedSession::new(
             "TensorDIMM",
-            Box::new(move |batch: &Batch| {
+            Box::new(move |batch: &Batch, traced: bool| {
                 trace.batches.clear();
                 trace.batches.push(batch.clone());
+                cfg.trace_commands = traced;
                 let plans = Self::plans_prepared(&layout, ranks, &trace);
-                execute(&cfg, &trace, &plans).cycles
+                execute(&cfg, &trace, &plans).into()
             }),
         ))
     }

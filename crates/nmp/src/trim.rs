@@ -191,7 +191,7 @@ impl EmbeddingAccelerator for Trim {
     fn open_session(&self, tables: &[EmbeddingTableSpec]) -> Box<dyn ServiceSession> {
         let layout = TableLayout::pack(self.dram.topology, tables, 0);
         let hot = self.hot_directory();
-        let cfg = EngineConfig::nmp(self.level_name(), self.dram.clone(), self.num_nodes());
+        let mut cfg = EngineConfig::nmp(self.level_name(), self.dram.clone(), self.num_nodes());
         let model = self.clone();
         let mut trace = Trace {
             tables: tables.to_vec(),
@@ -199,11 +199,12 @@ impl EmbeddingAccelerator for Trim {
         };
         Box::new(MemoizedSession::new(
             self.level_name(),
-            Box::new(move |batch: &Batch| {
+            Box::new(move |batch: &Batch, traced: bool| {
                 trace.batches.clear();
                 trace.batches.push(batch.clone());
+                cfg.trace_commands = traced;
                 let plans = model.plans_prepared(&layout, &hot, &trace);
-                execute(&cfg, &trace, &plans).cycles
+                execute(&cfg, &trace, &plans).into()
             }),
         ))
     }

@@ -1,0 +1,194 @@
+//! Chrome-trace / Perfetto JSON exporter.
+//!
+//! Root tracks become trace *processes* (`pid` = root creation order),
+//! every track in a root's subtree becomes a *thread* of that process
+//! (`tid` = creation order within the subtree, root itself is `tid 0`),
+//! and `process_name` / `thread_name` / sort-index metadata records the
+//! human-readable hierarchy. Timestamps are converted from integer cycles
+//! to microseconds with fixed `{:.3}` formatting, so export is
+//! byte-deterministic.
+
+use std::io::{self, Write};
+
+use crate::json::{fmt_f64, json_string};
+use crate::recorder::{EventKind, Recorder, TrackId};
+
+/// Microseconds with fixed three-decimal formatting.
+fn us(cycles: u64, ns_per_cycle: f64) -> String {
+    format!("{:.3}", cycles as f64 * ns_per_cycle / 1_000.0)
+}
+
+/// Per-track `(pid, tid)` assignment (see module docs).
+fn place_tracks(rec: &Recorder) -> Vec<(u32, u32)> {
+    let n = rec.track_count();
+    let mut place = Vec::with_capacity(n);
+    let mut roots = 0u32;
+    let mut threads_in_root: Vec<u32> = Vec::new();
+    for t in 0..n {
+        let id = TrackId(t as u32);
+        match rec.track_parent(id) {
+            None => {
+                place.push((roots, 0));
+                threads_in_root.push(1);
+                roots += 1;
+            }
+            Some(parent) => {
+                // Parents precede children, so the parent is placed.
+                let pid = place[parent.0 as usize].0;
+                let tid = threads_in_root[pid as usize];
+                threads_in_root[pid as usize] += 1;
+                place.push((pid, tid));
+            }
+        }
+    }
+    place
+}
+
+/// Writes the recorder's full event stream as a Chrome-trace JSON array
+/// (the format `ui.perfetto.dev` and `chrome://tracing` load directly).
+/// `ns_per_cycle` converts the recorder's integer-cycle timestamps to
+/// trace microseconds. Zero-length spans are widened to 1 ns so they stay
+/// visible in the viewer.
+pub fn write_chrome_trace<W: Write>(rec: &Recorder, ns_per_cycle: f64, mut w: W) -> io::Result<()> {
+    let place = place_tracks(rec);
+    let mut entries: Vec<String> = Vec::with_capacity(rec.events().len() + 3 * rec.track_count());
+    for e in rec.events() {
+        let (pid, tid) = place[e.track.0 as usize];
+        let name = json_string(rec.string(e.name));
+        let ts = us(e.ts, ns_per_cycle);
+        match e.kind {
+            EventKind::Span { dur } => {
+                let dur_us = (dur as f64 * ns_per_cycle / 1_000.0).max(0.001);
+                entries.push(format!(
+                    "{{\"name\":{name},\"ph\":\"X\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"dur\":{dur_us:.3}}}"
+                ));
+            }
+            EventKind::Begin => entries.push(format!(
+                "{{\"name\":{name},\"ph\":\"B\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+            )),
+            EventKind::End => entries.push(format!(
+                "{{\"ph\":\"E\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+            )),
+            EventKind::Instant => entries.push(format!(
+                "{{\"name\":{name},\"ph\":\"i\",\"s\":\"t\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts}}}"
+            )),
+            EventKind::Counter { value } => entries.push(format!(
+                "{{\"name\":{name},\"ph\":\"C\",\"pid\":{pid},\"tid\":{tid},\"ts\":{ts},\"args\":{{\"value\":{}}}}}",
+                fmt_f64(value)
+            )),
+        }
+    }
+    for (t, &(pid, tid)) in place.iter().enumerate() {
+        let id = TrackId(t as u32);
+        let name = json_string(rec.track_name(id));
+        if rec.track_parent(id).is_none() {
+            entries.push(format!(
+                "{{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"name\":{name}}}}}"
+            ));
+            entries.push(format!(
+                "{{\"name\":\"process_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"args\":{{\"sort_index\":{pid}}}}}"
+            ));
+        }
+        entries.push(format!(
+            "{{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"name\":{name}}}}}"
+        ));
+        entries.push(format!(
+            "{{\"name\":\"thread_sort_index\",\"ph\":\"M\",\"pid\":{pid},\"tid\":{tid},\"args\":{{\"sort_index\":{tid}}}}}"
+        ));
+    }
+    write!(w, "[\n{}\n]", entries.join(",\n"))
+}
+
+/// [`write_chrome_trace`] into a `String`.
+pub fn chrome_trace_string(rec: &Recorder, ns_per_cycle: f64) -> String {
+    let mut out = Vec::new();
+    write_chrome_trace(rec, ns_per_cycle, &mut out).expect("write to Vec cannot fail");
+    String::from_utf8(out).expect("exporter emits UTF-8")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::recorder::Recorder;
+
+    fn sample() -> Recorder {
+        let mut rec = Recorder::new();
+        let tenant = rec.track("tenant rt", None);
+        let lane = rec.track("lane 0", Some(tenant));
+        let ch = rec.track("channel 0", None);
+        let server = rec.track("server", Some(ch));
+        rec.span(lane, "request", 0, 240);
+        rec.span_begin(server, "batch 0", 40);
+        rec.span_end(server, 200);
+        rec.instant(lane, "dispatch ch0", 40);
+        rec.counter(ch, "queue depth", 0, 1.0);
+        rec.counter(ch, "queue depth", 40, 0.0);
+        rec
+    }
+
+    /// Minimal structural parse of the exporter's output: counts events
+    /// by phase and checks brace/bracket balance, without a JSON
+    /// dependency.
+    fn count(json: &str, needle: &str) -> usize {
+        json.matches(needle).count()
+    }
+
+    #[test]
+    fn round_trip_counts_match_recorded_events() {
+        let rec = sample();
+        rec.validate().unwrap();
+        let json = chrome_trace_string(&rec, 0.4167);
+        assert!(json.starts_with("[\n") && json.ends_with("\n]"));
+        assert_eq!(count(&json, "\"ph\":\"X\""), 1);
+        assert_eq!(count(&json, "\"ph\":\"B\""), 1);
+        assert_eq!(count(&json, "\"ph\":\"E\""), 1);
+        assert_eq!(count(&json, "\"ph\":\"i\""), 1);
+        assert_eq!(count(&json, "\"ph\":\"C\""), 2);
+        // One thread_name per track, one process_name per root.
+        assert_eq!(count(&json, "\"thread_name\""), 4);
+        assert_eq!(count(&json, "\"process_name\""), 2);
+        let opens = json.chars().filter(|&c| c == '{').count();
+        let closes = json.chars().filter(|&c| c == '}').count();
+        assert_eq!(opens, closes, "balanced braces");
+    }
+
+    #[test]
+    fn children_share_their_roots_pid() {
+        let rec = sample();
+        let json = chrome_trace_string(&rec, 1.0);
+        // "lane 0" is a thread of pid 0, "server" a thread of pid 1.
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":0,\"tid\":1,\"args\":{\"name\":\"lane 0\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":1,\"args\":{\"name\":\"server\"}}"
+        ));
+        assert!(json.contains(
+            "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,\"args\":{\"name\":\"channel 0\"}}"
+        ));
+    }
+
+    #[test]
+    fn export_is_deterministic() {
+        let a = chrome_trace_string(&sample(), 0.4167);
+        let b = chrome_trace_string(&sample(), 0.4167);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn timestamps_are_scaled_to_microseconds() {
+        let mut rec = Recorder::new();
+        let t = rec.track("t", None);
+        rec.span(t, "s", 1_000, 3_000);
+        // 1000 cycles at 0.5 ns/cycle = 0.5 µs.
+        let json = chrome_trace_string(&rec, 0.5);
+        assert!(json.contains("\"ts\":0.500,\"dur\":1.000"), "{json}");
+    }
+
+    #[test]
+    fn empty_recorder_exports_an_empty_array() {
+        let rec = Recorder::new();
+        let json = chrome_trace_string(&rec, 1.0);
+        assert_eq!(json, "[\n\n]");
+    }
+}

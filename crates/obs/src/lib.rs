@@ -1,0 +1,53 @@
+//! `recross-obs`: a zero-dependency, deterministic structured-event
+//! recorder for the ReCross reproduction.
+//!
+//! Every layer of the stack — the serving simulator, the NMP engines, and
+//! the cycle-level DRAM controller — emits its events into one
+//! [`Recorder`]: named **tracks** arranged in a forest (tenant → request
+//! lane, channel → server / queue depth / DRAM banks), and on each track
+//! **spans** (complete or begin/end pairs), **instants**, and **counter**
+//! samples, all timestamped in integer controller cycles. The recorder is
+//! append-only and allocation-free when disabled (see
+//! [`Recorder::disabled`]), so the hot simulation path pays nothing when
+//! tracing is off.
+//!
+//! Two consumers sit on top:
+//!
+//! * [`write_chrome_trace`] exports the whole forest as a Chrome-trace /
+//!   Perfetto JSON file (root tracks become processes, descendants become
+//!   threads) that loads directly in `ui.perfetto.dev`;
+//! * the raw [`Event`] stream, which downstream crates fold into
+//!   deterministic summary reports (bottleneck attribution lives next to
+//!   the DRAM command model in `recross-dram`, not here).
+//!
+//! # Determinism
+//!
+//! Everything is reproducible byte-for-byte: timestamps are integer
+//! cycles scaled to microseconds only at export time with fixed `{:.3}`
+//! formatting, strings are interned in first-use order, track and event
+//! order is recording order, and floats in counter samples are printed
+//! with the same shortest-round-trip formatting the rest of the workspace
+//! uses ([`fmt_f64`]). Two identical runs produce identical trace files.
+//!
+//! ```
+//! use recross_obs::Recorder;
+//!
+//! let mut rec = Recorder::new();
+//! let sys = rec.track("system", None);
+//! let worker = rec.track("worker 0", Some(sys));
+//! rec.span(worker, "job", 100, 250);
+//! rec.counter(sys, "queue depth", 100, 3.0);
+//! rec.validate().unwrap();
+//! let json = recross_obs::chrome_trace_string(&rec, 0.4167);
+//! assert!(json.starts_with("[\n"));
+//! ```
+
+#![deny(missing_docs)]
+
+mod chrome;
+mod json;
+mod recorder;
+
+pub use chrome::{chrome_trace_string, write_chrome_trace};
+pub use json::{fmt_f64, json_string};
+pub use recorder::{Event, EventKind, Recorder, StrId, TrackId};

@@ -1,0 +1,379 @@
+//! The structured-event recorder: interned strings, a track forest, and
+//! an append-only event stream.
+
+use std::collections::HashMap;
+
+/// Handle to an interned string (see [`Recorder::intern`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct StrId(pub(crate) u32);
+
+/// Handle to a track (see [`Recorder::track`]). Tracks form a forest:
+/// roots map to Chrome-trace *processes*, descendants to *threads*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TrackId(pub(crate) u32);
+
+/// What an [`Event`] is.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum EventKind {
+    /// A complete span starting at the event timestamp; `dur` cycles long.
+    Span {
+        /// Duration in cycles (may be zero).
+        dur: u64,
+    },
+    /// Opens a span (closed by the next matching [`EventKind::End`] on the
+    /// same track — begin/end pairs nest like a stack per track).
+    Begin,
+    /// Closes the innermost open span on the track.
+    End,
+    /// A point event.
+    Instant,
+    /// A counter (gauge) sample.
+    Counter {
+        /// Sampled value.
+        value: f64,
+    },
+}
+
+/// One recorded event: a kind on a track, named, at an integer-cycle
+/// timestamp.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Event {
+    /// Track the event belongs to.
+    pub track: TrackId,
+    /// Interned event name.
+    pub name: StrId,
+    /// Timestamp in cycles (span start for [`EventKind::Span`]).
+    pub ts: u64,
+    /// Payload.
+    pub kind: EventKind,
+}
+
+#[derive(Debug, Clone)]
+struct Track {
+    name: StrId,
+    parent: Option<TrackId>,
+}
+
+/// A deterministic structured-event recorder.
+///
+/// All mutating methods are no-ops on a recorder built with
+/// [`Recorder::disabled`]; none of them allocate in that state (checked
+/// by [`Recorder::heap_capacity`], which stays `0`). Hot paths that would
+/// allocate just to *format* an event name should additionally guard on
+/// [`Recorder::is_enabled`].
+#[derive(Debug, Clone)]
+pub struct Recorder {
+    enabled: bool,
+    strings: Vec<String>,
+    lookup: HashMap<String, StrId>,
+    tracks: Vec<Track>,
+    events: Vec<Event>,
+}
+
+impl Default for Recorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Recorder {
+    /// An enabled, empty recorder.
+    pub fn new() -> Self {
+        Self {
+            enabled: true,
+            strings: Vec::new(),
+            lookup: HashMap::new(),
+            tracks: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// The no-op sink: every recording method returns immediately without
+    /// touching the heap, so instrumented code costs nothing when tracing
+    /// is off.
+    pub fn disabled() -> Self {
+        Self {
+            enabled: false,
+            ..Self::new()
+        }
+    }
+
+    /// Whether this recorder records anything.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Total heap capacity (in entries) held by the recorder's internal
+    /// storage — `0` for a disabled recorder no matter how many events
+    /// were offered to it (the zero-allocation guarantee).
+    pub fn heap_capacity(&self) -> usize {
+        self.strings.capacity()
+            + self.lookup.capacity()
+            + self.tracks.capacity()
+            + self.events.capacity()
+    }
+
+    /// Interns `s`, returning a stable handle; repeated interning of the
+    /// same string returns the same handle without allocating.
+    pub fn intern(&mut self, s: &str) -> StrId {
+        if !self.enabled {
+            return StrId(0);
+        }
+        if let Some(&id) = self.lookup.get(s) {
+            return id;
+        }
+        let id = StrId(u32::try_from(self.strings.len()).expect("string table overflow"));
+        self.strings.push(s.to_string());
+        self.lookup.insert(s.to_string(), id);
+        id
+    }
+
+    /// The string behind a handle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` did not come from this recorder.
+    pub fn string(&self, id: StrId) -> &str {
+        &self.strings[id.0 as usize]
+    }
+
+    /// Creates a track named `name` under `parent` (`None` for a new
+    /// root). Parents must be created before their children, so track ids
+    /// are topologically ordered by construction.
+    ///
+    /// # Panics
+    ///
+    /// Panics (when enabled) if `parent` is not a track of this recorder.
+    pub fn track(&mut self, name: &str, parent: Option<TrackId>) -> TrackId {
+        if !self.enabled {
+            return TrackId(0);
+        }
+        if let Some(p) = parent {
+            assert!((p.0 as usize) < self.tracks.len(), "parent track must exist");
+        }
+        let name = self.intern(name);
+        let id = TrackId(u32::try_from(self.tracks.len()).expect("track table overflow"));
+        self.tracks.push(Track { name, parent });
+        id
+    }
+
+    /// Number of tracks created so far.
+    pub fn track_count(&self) -> usize {
+        self.tracks.len()
+    }
+
+    /// A track's name.
+    pub fn track_name(&self, id: TrackId) -> &str {
+        self.string(self.tracks[id.0 as usize].name)
+    }
+
+    /// A track's parent (`None` for roots).
+    pub fn track_parent(&self, id: TrackId) -> Option<TrackId> {
+        self.tracks[id.0 as usize].parent
+    }
+
+    fn push(&mut self, track: TrackId, name: StrId, ts: u64, kind: EventKind) {
+        debug_assert!((track.0 as usize) < self.tracks.len(), "event on unknown track");
+        self.events.push(Event {
+            track,
+            name,
+            ts,
+            kind,
+        });
+    }
+
+    /// Records a complete span `[start, end]` on `track`.
+    ///
+    /// # Panics
+    ///
+    /// Panics (when enabled) if `end < start`.
+    pub fn span(&mut self, track: TrackId, name: &str, start: u64, end: u64) {
+        if !self.enabled {
+            return;
+        }
+        assert!(end >= start, "span must not end before it starts");
+        let name = self.intern(name);
+        self.push(track, name, start, EventKind::Span { dur: end - start });
+    }
+
+    /// Opens a span on `track`; close it with [`Recorder::span_end`].
+    pub fn span_begin(&mut self, track: TrackId, name: &str, ts: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = self.intern(name);
+        self.push(track, name, ts, EventKind::Begin);
+    }
+
+    /// Closes the innermost open span on `track`.
+    pub fn span_end(&mut self, track: TrackId, ts: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = self.intern("");
+        self.push(track, name, ts, EventKind::End);
+    }
+
+    /// Records a point event.
+    pub fn instant(&mut self, track: TrackId, name: &str, ts: u64) {
+        if !self.enabled {
+            return;
+        }
+        let name = self.intern(name);
+        self.push(track, name, ts, EventKind::Instant);
+    }
+
+    /// Records a counter (gauge) sample.
+    pub fn counter(&mut self, track: TrackId, name: &str, ts: u64, value: f64) {
+        if !self.enabled {
+            return;
+        }
+        let name = self.intern(name);
+        self.push(track, name, ts, EventKind::Counter { value });
+    }
+
+    /// The recorded events, in recording order.
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Checks the stream is well formed: every event sits on a known
+    /// track, per-track timestamps are nondecreasing in recording order,
+    /// and every [`EventKind::Begin`] has a matching [`EventKind::End`]
+    /// (balanced, stack-nested, per track). Returns the first violation.
+    pub fn validate(&self) -> Result<(), String> {
+        let mut last_ts: Vec<Option<u64>> = vec![None; self.tracks.len()];
+        let mut open: Vec<u32> = vec![0; self.tracks.len()];
+        for (i, e) in self.events.iter().enumerate() {
+            let t = e.track.0 as usize;
+            if t >= self.tracks.len() {
+                return Err(format!("event {i} on unknown track {t}"));
+            }
+            if let Some(prev) = last_ts[t] {
+                if e.ts < prev {
+                    return Err(format!(
+                        "event {i} on track '{}' goes back in time ({} < {prev})",
+                        self.track_name(e.track),
+                        e.ts
+                    ));
+                }
+            }
+            last_ts[t] = Some(e.ts);
+            match e.kind {
+                EventKind::Begin => open[t] += 1,
+                EventKind::End => {
+                    if open[t] == 0 {
+                        return Err(format!(
+                            "event {i} on track '{}' closes a span that was never opened",
+                            self.track_name(e.track)
+                        ));
+                    }
+                    open[t] -= 1;
+                }
+                EventKind::Span { .. } | EventKind::Instant | EventKind::Counter { .. } => {}
+            }
+        }
+        for (t, &n) in open.iter().enumerate() {
+            if n > 0 {
+                return Err(format!(
+                    "track '{}' ends with {n} unclosed span(s)",
+                    self.track_name(TrackId(t as u32))
+                ));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_is_stable_and_deduplicated() {
+        let mut rec = Recorder::new();
+        let a = rec.intern("alpha");
+        let b = rec.intern("beta");
+        let a2 = rec.intern("alpha");
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+        assert_eq!(rec.string(a), "alpha");
+        assert_eq!(rec.string(b), "beta");
+    }
+
+    #[test]
+    fn disabled_recorder_never_allocates() {
+        let mut rec = Recorder::disabled();
+        assert!(!rec.is_enabled());
+        let t = rec.track("root", None);
+        let c = rec.track("child", Some(t));
+        for i in 0..10_000u64 {
+            rec.span(c, "work", i, i + 1);
+            rec.span_begin(c, "outer", i);
+            rec.span_end(c, i + 1);
+            rec.instant(t, "tick", i);
+            rec.counter(t, "depth", i, i as f64);
+            rec.intern("some string");
+        }
+        assert_eq!(rec.events().len(), 0);
+        assert_eq!(rec.track_count(), 0);
+        assert_eq!(
+            rec.heap_capacity(),
+            0,
+            "disabled recorder must not touch the heap"
+        );
+    }
+
+    #[test]
+    fn validate_accepts_well_formed_streams() {
+        let mut rec = Recorder::new();
+        let root = rec.track("root", None);
+        let child = rec.track("child", Some(root));
+        rec.span_begin(child, "outer", 10);
+        rec.span_begin(child, "inner", 12);
+        rec.span_end(child, 20);
+        rec.span_end(child, 30);
+        rec.span(root, "flat", 0, 100);
+        rec.counter(root, "depth", 50, 2.0);
+        assert_eq!(rec.validate(), Ok(()));
+    }
+
+    #[test]
+    fn validate_rejects_unclosed_spans() {
+        let mut rec = Recorder::new();
+        let t = rec.track("t", None);
+        rec.span_begin(t, "open", 1);
+        let err = rec.validate().unwrap_err();
+        assert!(err.contains("unclosed"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_stray_end() {
+        let mut rec = Recorder::new();
+        let t = rec.track("t", None);
+        rec.span_end(t, 1);
+        let err = rec.validate().unwrap_err();
+        assert!(err.contains("never opened"), "{err}");
+    }
+
+    #[test]
+    fn validate_rejects_time_travel_per_track() {
+        let mut rec = Recorder::new();
+        let a = rec.track("a", None);
+        let b = rec.track("b", None);
+        // Interleaving across tracks is fine; regression within one is not.
+        rec.instant(a, "x", 10);
+        rec.instant(b, "y", 5);
+        rec.instant(a, "z", 9);
+        let err = rec.validate().unwrap_err();
+        assert!(err.contains("back in time"), "{err}");
+    }
+
+    #[test]
+    #[should_panic(expected = "span must not end before it starts")]
+    fn backwards_span_panics() {
+        let mut rec = Recorder::new();
+        let t = rec.track("t", None);
+        rec.span(t, "bad", 10, 9);
+    }
+}

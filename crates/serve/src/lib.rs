@@ -27,6 +27,12 @@
 //!   [`service`](recross_nmp::session::ServiceSession::service) time;
 //!   sessions opened once ([`open_sessions`]) carry their resolved layout
 //!   state and memoized service times across runs;
+//! * [`obs`] — cross-layer tracing ([`ServeObs`]): run the same
+//!   simulation through [`simulate_sessions_obs`] /
+//!   [`simulate_tenant_sessions_obs`] (byte-identical reports — tracing
+//!   never perturbs pricing) and get a unified Perfetto timeline from
+//!   tenant request lanes down to per-bank DRAM commands, plus a
+//!   deterministic [`ObsReport`] with bottleneck attribution;
 //! * [`slo`] — closed-loop SLO throughput searches: deterministic
 //!   bisection over offered QPS for the highest rate whose p99 latency
 //!   meets a bound ([`slo_search`]) or at which every tenant of a mix
@@ -99,6 +105,7 @@
 pub mod arrival;
 pub mod batch;
 pub mod hist;
+pub mod obs;
 pub mod report;
 pub mod sim;
 pub mod slo;
@@ -107,9 +114,11 @@ pub mod tenant;
 pub use arrival::ArrivalProcess;
 pub use batch::{Batcher, BatcherConfig, QueuePolicy, QueuedJob};
 pub use hist::LatencyHistogram;
+pub use obs::{LifecycleTotals, ObsChannel, ObsReport, ServeObs};
 pub use report::{ChannelReport, ServeReport, TenantReport};
 pub use sim::{
-    open_sessions, simulate, simulate_sessions, simulate_tenant_sessions, simulate_tenants,
+    open_sessions, simulate, simulate_sessions, simulate_sessions_obs, simulate_tenant_sessions,
+    simulate_tenant_sessions_obs, simulate_tenants,
 };
 pub use slo::{
     search as slo_search, search_tenants as slo_search_tenants, SloProbe, SloReport,

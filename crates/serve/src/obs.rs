@@ -1,0 +1,511 @@
+//! Cross-layer observability for serving runs.
+//!
+//! [`ServeObs`] carries a [`recross_obs::Recorder`] through one serving
+//! simulation and assembles a single timeline spanning every layer of the
+//! stack:
+//!
+//! * one **tenant group** per traffic class, holding request *lanes* —
+//!   each request becomes a span from arrival to resolution (completion,
+//!   queue shed, or deadline shed), with dispatch/drop instants per
+//!   channel part, packed greedily onto the fewest non-overlapping lanes;
+//! * one **channel group** per memory channel, holding the server track
+//!   (one span per dispatched batch, with a cache hit/miss instant), the
+//!   queue-depth counter (sampled on every queue transition), and — when
+//!   DRAM tracing is on — the per-bank command tracks and PE occupancy
+//!   tracks from [`recross_dram::traceviz`], offset to simulation time.
+//!
+//! The recorder exports to Perfetto/Chrome-trace JSON
+//! ([`ServeObs::write_chrome_trace`]), and [`ServeObs::obs_report`]
+//! distills the same evidence into a deterministic [`ObsReport`] with
+//! bottleneck attribution: per-channel busy/idle split, queue-depth
+//! percentiles, and the DRAM-level [`CommandAttribution`] (C/A vs data
+//! bus, tRCD/tRP overhead, bank conflicts, PE utilization).
+//!
+//! Everything is integer cycles internally; timestamps scale to
+//! microseconds only at export, so traced runs are byte-identical across
+//! reruns — and the simulation itself is priced identically with tracing
+//! on or off (asserted in `sim`'s tests).
+
+use std::io::Write;
+
+use recross_dram::traceviz::{dram_tracks, record_commands, DramTracks};
+use recross_dram::{CommandAttribution, Cycle, DramConfig, IssuedCommand};
+use recross_obs::{Recorder, TrackId};
+
+use crate::report::{fmt_f64, json_string, ServeReport};
+
+/// Request-fate tallies accumulated while synthesizing request lanes;
+/// one count per lifecycle outcome, plus the span total the lifecycle
+/// test checks against the [`ServeReport`] counters.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct LifecycleTotals {
+    /// Requests that completed by their deadline.
+    pub completed: u64,
+    /// Requests that completed after their deadline.
+    pub late: u64,
+    /// Requests dropped by a full queue on some channel.
+    pub queue_shed: u64,
+    /// Requests dropped by deadline shedding.
+    pub deadline_shed: u64,
+    /// Request lifecycle spans recorded (one per request).
+    pub spans: u64,
+}
+
+/// One request lane: the track and the cycle at which it frees up.
+struct Lane {
+    track: TrackId,
+    free: Cycle,
+}
+
+/// Per-tenant lane group.
+struct LaneGroup {
+    root: TrackId,
+    lanes: Vec<Lane>,
+}
+
+/// Per-channel observability tracks and accumulators.
+struct ChannelTracks {
+    server: TrackId,
+    depth: TrackId,
+    dram: Option<DramTracks>,
+    /// Commands issued by this channel's dispatches, offset to
+    /// simulation time (for post-hoc attribution).
+    commands: Vec<IssuedCommand>,
+}
+
+/// The cross-layer trace recorder for one serving run.
+///
+/// Create one per traced simulation, pass it to
+/// [`simulate_sessions_obs`](crate::sim::simulate_sessions_obs) or
+/// [`simulate_tenant_sessions_obs`](crate::sim::simulate_tenant_sessions_obs),
+/// then export the timeline ([`write_chrome_trace`](Self::write_chrome_trace))
+/// and the attribution summary ([`obs_report`](Self::obs_report)).
+pub struct ServeObs {
+    rec: Recorder,
+    dram: DramConfig,
+    trace_dram: bool,
+    begun: bool,
+    groups: Vec<LaneGroup>,
+    channels: Vec<ChannelTracks>,
+    totals: LifecycleTotals,
+}
+
+impl ServeObs {
+    /// A recorder with full tracing — request lanes, server spans, queue
+    /// gauges, and per-dispatch DRAM command tracks (each dispatch re-runs
+    /// the engine with command tracing; pricing is unchanged, asserted in
+    /// debug builds).
+    pub fn new(dram: DramConfig) -> Self {
+        Self {
+            rec: Recorder::new(),
+            dram,
+            trace_dram: true,
+            begun: false,
+            groups: Vec::new(),
+            channels: Vec::new(),
+            totals: LifecycleTotals::default(),
+        }
+    }
+
+    /// Enables or disables the DRAM command layer (on by default). With
+    /// it off, the timeline keeps the serve-level tracks only and
+    /// [`ObsReport`] channels carry no [`CommandAttribution`].
+    pub fn set_dram_trace(&mut self, on: bool) {
+        self.trace_dram = on;
+    }
+
+    /// Whether dispatches should be traced down to DRAM commands.
+    pub fn dram_trace(&self) -> bool {
+        self.trace_dram
+    }
+
+    /// The underlying recorder (e.g. for [`Recorder::validate`]).
+    pub fn recorder(&self) -> &Recorder {
+        &self.rec
+    }
+
+    /// Request-fate tallies from the recorded lifecycle spans; all zero
+    /// until a simulation has run.
+    pub fn lifecycle_totals(&self) -> &LifecycleTotals {
+        &self.totals
+    }
+
+    /// Writes the unified Perfetto/Chrome-trace timeline (open with
+    /// `ui.perfetto.dev` or `chrome://tracing`). Timestamps are scaled
+    /// from cycles to microseconds with the DRAM command clock.
+    pub fn write_chrome_trace<W: Write>(&self, w: &mut W) -> std::io::Result<()> {
+        recross_obs::write_chrome_trace(&self.rec, self.dram.cycles_to_ns(1), w)
+    }
+
+    /// [`write_chrome_trace`](Self::write_chrome_trace) into a `String`.
+    pub fn chrome_trace_string(&self) -> String {
+        recross_obs::chrome_trace_string(&self.rec, self.dram.cycles_to_ns(1))
+    }
+
+    /// Distills the trace into a deterministic [`ObsReport`] consistent
+    /// with `report` (same run's [`ServeReport`]): per-channel busy/idle
+    /// fractions and queue-depth percentiles come straight from the
+    /// report's channels, the lifecycle counts from the recorded request
+    /// lanes, and — when DRAM tracing was on — each channel's command
+    /// stream is attributed over the run's makespan.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `report` has a different channel count than the traced
+    /// run (i.e. it is not the report this recorder observed).
+    pub fn obs_report(&self, report: &ServeReport) -> ObsReport {
+        assert_eq!(
+            report.channels.len(),
+            self.channels.len(),
+            "report must come from the traced run"
+        );
+        let channels = self
+            .channels
+            .iter()
+            .zip(&report.channels)
+            .map(|(ct, cr)| ObsChannel {
+                busy_fraction: cr.utilization,
+                idle_fraction: 1.0 - cr.utilization,
+                depth_p50: cr.depth_p50,
+                depth_p99: cr.depth_p99,
+                depth_max: cr.depth_max,
+                dispatches: cr.dispatches,
+                queue_shed: cr.shed,
+                deadline_shed: cr.expired,
+                attribution: if self.trace_dram {
+                    Some(CommandAttribution::from_commands(
+                        &ct.commands,
+                        &self.dram,
+                        report.makespan_cycles,
+                    ))
+                } else {
+                    None
+                },
+            })
+            .collect();
+        ObsReport {
+            name: report.name.clone(),
+            requests: report.requests,
+            completed: self.totals.completed,
+            late: self.totals.late,
+            queue_shed: self.totals.queue_shed,
+            deadline_shed: self.totals.deadline_shed,
+            lifecycle_spans: self.totals.spans,
+            makespan_cycles: report.makespan_cycles,
+            channels,
+        }
+    }
+
+    // ---- hooks used by the simulator (crate-private) ----
+
+    /// Creates the track forest: one lane group per tenant class (or a
+    /// single `"requests"` group), one channel group per channel.
+    pub(crate) fn begin(&mut self, channels: usize, groups: &[String]) {
+        assert!(!self.begun, "one ServeObs serves one simulation");
+        self.begun = true;
+        for g in groups {
+            let root = self.rec.track(&format!("tenant: {g}"), None);
+            self.groups.push(LaneGroup {
+                root,
+                lanes: Vec::new(),
+            });
+        }
+        for ch in 0..channels {
+            let root = self.rec.track(&format!("channel {ch}"), None);
+            let server = self.rec.track("server", Some(root));
+            let depth = self.rec.track("queue depth", Some(root));
+            let dram = self
+                .trace_dram
+                .then(|| dram_tracks(&mut self.rec, root, &self.dram));
+            self.channels.push(ChannelTracks {
+                server,
+                depth,
+                dram,
+                commands: Vec::new(),
+            });
+        }
+    }
+
+    /// Samples channel `ch`'s queue depth at cycle `t`.
+    pub(crate) fn depth_sample(&mut self, ch: usize, t: Cycle, depth: usize) {
+        self.rec
+            .counter(self.channels[ch].depth, "depth", t, depth as f64);
+    }
+
+    /// Records one dispatched batch: a service span on the channel's
+    /// server track plus a memo hit/miss instant at dispatch time.
+    pub(crate) fn service_span(
+        &mut self,
+        ch: usize,
+        batch_idx: u64,
+        jobs: usize,
+        td: Cycle,
+        done: Cycle,
+        cache_hit: bool,
+    ) {
+        let server = self.channels[ch].server;
+        self.rec
+            .span(server, &format!("batch#{batch_idx} ({jobs} req)"), td, done);
+        let tag = if cache_hit { "cache hit" } else { "cache miss" };
+        self.rec.instant(server, tag, td);
+    }
+
+    /// Records one dispatch's DRAM command stream (priced at batch-local
+    /// cycle 0) offset to simulation time `td`: spans on the channel's
+    /// bank/PE tracks plus the attribution accumulator.
+    pub(crate) fn batch_commands(&mut self, ch: usize, td: Cycle, commands: &[IssuedCommand]) {
+        let ct = &mut self.channels[ch];
+        let Some(tracks) = ct.dram.as_mut() else {
+            return;
+        };
+        record_commands(&mut self.rec, tracks, &self.dram, commands, td);
+        ct.commands.extend(commands.iter().map(|c| IssuedCommand {
+            command: c.command,
+            cycle: c.cycle + td,
+        }));
+    }
+
+    /// Records one request's lifecycle span on the first free lane of its
+    /// tenant group (creating a lane when all are occupied), plus sorted
+    /// per-channel instants, and tallies the outcome.
+    pub(crate) fn request_span(
+        &mut self,
+        group: usize,
+        name: &str,
+        start: Cycle,
+        end: Cycle,
+        instants: &[(Cycle, String)],
+    ) {
+        let g = &mut self.groups[group];
+        let lane = match g.lanes.iter_mut().find(|l| l.free <= start) {
+            Some(l) => {
+                l.free = end;
+                l.track
+            }
+            None => {
+                let idx = g.lanes.len();
+                let track = self.rec.track(&format!("lane {idx}"), Some(g.root));
+                g.lanes.push(Lane { track, free: end });
+                track
+            }
+        };
+        self.rec.span(lane, name, start, end);
+        debug_assert!(instants.windows(2).all(|w| w[0].0 <= w[1].0));
+        for (t, label) in instants {
+            self.rec.instant(lane, label, *t);
+        }
+        self.totals.spans += 1;
+    }
+
+    /// Tallies one resolved request (called alongside
+    /// [`request_span`](Self::request_span)).
+    pub(crate) fn tally(&mut self, fate: RequestFate) {
+        match fate {
+            RequestFate::Completed => self.totals.completed += 1,
+            RequestFate::Late => self.totals.late += 1,
+            RequestFate::QueueShed => self.totals.queue_shed += 1,
+            RequestFate::DeadlineShed => self.totals.deadline_shed += 1,
+        }
+    }
+}
+
+/// How one request's lifecycle resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum RequestFate {
+    /// Completed by its deadline.
+    Completed,
+    /// Completed after its deadline.
+    Late,
+    /// Dropped by a full queue on some channel.
+    QueueShed,
+    /// Dropped by deadline shedding.
+    DeadlineShed,
+}
+
+impl RequestFate {
+    /// Lifecycle-span label.
+    pub(crate) fn label(self) -> &'static str {
+        match self {
+            RequestFate::Completed => "completed",
+            RequestFate::Late => "late",
+            RequestFate::QueueShed => "queue-shed",
+            RequestFate::DeadlineShed => "deadline-shed",
+        }
+    }
+}
+
+/// Per-channel slice of an [`ObsReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsChannel {
+    /// Fraction of the makespan the channel's server spent servicing.
+    pub busy_fraction: f64,
+    /// `1 - busy_fraction`.
+    pub idle_fraction: f64,
+    /// Median sampled queue depth (see
+    /// [`ChannelReport::depth_p50`](crate::report::ChannelReport::depth_p50)).
+    pub depth_p50: u64,
+    /// 99th-percentile sampled queue depth.
+    pub depth_p99: u64,
+    /// Maximum sampled queue depth.
+    pub depth_max: u64,
+    /// Batches dispatched.
+    pub dispatches: u64,
+    /// Requests shed at this channel's queue (admission tail-drop).
+    pub queue_shed: u64,
+    /// Requests shed at this channel by deadline shedding.
+    pub deadline_shed: u64,
+    /// DRAM-level bottleneck attribution over the run's makespan; `None`
+    /// when DRAM tracing was off.
+    pub attribution: Option<CommandAttribution>,
+}
+
+/// Deterministic bottleneck-attribution summary of one traced serving
+/// run — the machine-readable counterpart of the Perfetto timeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsReport {
+    /// Architecture name, from the run's [`ServeReport`].
+    pub name: String,
+    /// Requests offered.
+    pub requests: u64,
+    /// Requests completed by their deadline.
+    pub completed: u64,
+    /// Requests completed after their deadline.
+    pub late: u64,
+    /// Requests dropped by a full queue.
+    pub queue_shed: u64,
+    /// Requests dropped by deadline shedding.
+    pub deadline_shed: u64,
+    /// Request lifecycle spans recorded (one per request; the four fate
+    /// counters partition it exactly).
+    pub lifecycle_spans: u64,
+    /// Run makespan in cycles (attribution window).
+    pub makespan_cycles: Cycle,
+    /// Per-channel busy/idle split, queue-depth percentiles, and DRAM
+    /// attribution.
+    pub channels: Vec<ObsChannel>,
+}
+
+impl ObsReport {
+    /// The report as a JSON object string (no trailing newline), with the
+    /// workspace's deterministic float formatting.
+    pub fn to_json(&self) -> String {
+        let channels: Vec<String> = self
+            .channels
+            .iter()
+            .map(|c| {
+                format!(
+                    concat!(
+                        "{{\"busy_fraction\":{},\"idle_fraction\":{},",
+                        "\"queue_depth\":{{\"p50\":{},\"p99\":{},\"max\":{}}},",
+                        "\"dispatches\":{},\"queue_shed\":{},\"deadline_shed\":{},",
+                        "\"dram\":{}}}"
+                    ),
+                    fmt_f64(c.busy_fraction),
+                    fmt_f64(c.idle_fraction),
+                    c.depth_p50,
+                    c.depth_p99,
+                    c.depth_max,
+                    c.dispatches,
+                    c.queue_shed,
+                    c.deadline_shed,
+                    c.attribution
+                        .as_ref()
+                        .map(|a| a.to_json())
+                        .unwrap_or_else(|| "null".to_string()),
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"experiment\":\"serve_trace\",\"arch\":{},\"requests\":{},",
+                "\"completed\":{},\"late\":{},\"queue_shed\":{},\"deadline_shed\":{},",
+                "\"lifecycle_spans\":{},\"makespan_cycles\":{},\"channels\":[{}]}}"
+            ),
+            json_string(&self.name),
+            self.requests,
+            self.completed,
+            self.late,
+            self.queue_shed,
+            self.deadline_shed,
+            self.lifecycle_spans,
+            self.makespan_cycles,
+            channels.join(","),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn begin_builds_the_track_forest() {
+        let mut obs = ServeObs::new(DramConfig::ddr5_4800());
+        obs.begin(2, &["rt".to_string(), "batch".to_string()]);
+        let banks = DramConfig::ddr5_4800().topology.banks_per_channel() as usize;
+        // 2 tenant roots + per channel: root + server + depth + banks.
+        assert_eq!(obs.recorder().track_count(), 2 + 2 * (3 + banks));
+        assert_eq!(obs.recorder().validate(), Ok(()));
+    }
+
+    #[test]
+    fn timeline_only_mode_skips_bank_tracks() {
+        let mut obs = ServeObs::new(DramConfig::ddr5_4800());
+        obs.set_dram_trace(false);
+        obs.begin(1, &["requests".to_string()]);
+        assert_eq!(obs.recorder().track_count(), 1 + 3);
+        obs.batch_commands(0, 100, &[]);
+        assert!(obs.channels[0].commands.is_empty());
+    }
+
+    #[test]
+    fn request_spans_pack_onto_fewest_lanes() {
+        let mut obs = ServeObs::new(DramConfig::ddr5_4800());
+        obs.set_dram_trace(false);
+        obs.begin(1, &["requests".to_string()]);
+        // Two overlapping requests need two lanes; a third starting after
+        // the first ends reuses lane 0.
+        obs.request_span(0, "req#0 completed", 0, 100, &[]);
+        obs.request_span(0, "req#1 completed", 50, 150, &[(60, "dispatch ch0".into())]);
+        obs.request_span(0, "req#2 completed", 120, 200, &[]);
+        assert_eq!(obs.groups[0].lanes.len(), 2);
+        assert_eq!(obs.lifecycle_totals().spans, 3);
+        assert_eq!(obs.recorder().validate(), Ok(()));
+    }
+
+    #[test]
+    fn obs_report_json_is_deterministic_and_balanced() {
+        let report = ObsReport {
+            name: "CPU".into(),
+            requests: 4,
+            completed: 2,
+            late: 1,
+            queue_shed: 1,
+            deadline_shed: 0,
+            lifecycle_spans: 4,
+            makespan_cycles: 1000,
+            channels: vec![ObsChannel {
+                busy_fraction: 0.25,
+                idle_fraction: 0.75,
+                depth_p50: 1,
+                depth_p99: 3,
+                depth_max: 3,
+                dispatches: 2,
+                queue_shed: 1,
+                deadline_shed: 0,
+                attribution: None,
+            }],
+        };
+        let json = report.to_json();
+        assert_eq!(json, report.clone().to_json());
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        for key in [
+            "\"experiment\":\"serve_trace\"",
+            "\"lifecycle_spans\":4",
+            "\"queue_depth\":{\"p50\":1,\"p99\":3,\"max\":3}",
+            "\"dram\":null",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

@@ -28,6 +28,14 @@ pub struct ChannelReport {
     pub shed: u64,
     /// Requests shed at this channel by deadline shedding.
     pub expired: u64,
+    /// Median queue depth over this channel's transition samples (one
+    /// sample after every arrival, deadline shed, and dispatch —
+    /// nearest-rank percentile).
+    pub depth_p50: u64,
+    /// 99th-percentile queue depth over the transition samples.
+    pub depth_p99: u64,
+    /// Maximum queue depth over the transition samples.
+    pub depth_max: u64,
 }
 
 /// Per-tenant outcome of a multi-tenant serving run.
@@ -216,12 +224,19 @@ impl ServeReport {
             .iter()
             .map(|c| {
                 format!(
-                    "{{\"busy_cycles\":{},\"utilization\":{},\"dispatches\":{},\"shed\":{},\"expired\":{}}}",
+                    concat!(
+                        "{{\"busy_cycles\":{},\"utilization\":{},\"dispatches\":{},",
+                        "\"shed\":{},\"expired\":{},",
+                        "\"depth\":{{\"p50\":{},\"p99\":{},\"max\":{}}}}}"
+                    ),
                     c.busy_cycles,
                     fmt_f64(c.utilization),
                     c.dispatches,
                     c.shed,
-                    c.expired
+                    c.expired,
+                    c.depth_p50,
+                    c.depth_p99,
+                    c.depth_max
                 )
             })
             .collect();
@@ -361,6 +376,9 @@ mod tests {
                 dispatches: 2,
                 shed: 1,
                 expired: 0,
+                depth_p50: 1,
+                depth_p99: 2,
+                depth_max: 2,
             }],
             service_cache: SessionStats {
                 hits: 1,
@@ -404,6 +422,7 @@ mod tests {
             "\"queue_depth\":",
             "\"service_cache\":{\"hits\":1,\"misses\":1,\"evictions\":0,\"hit_rate\":0.5}",
             "\"channels\":",
+            "\"depth\":{\"p50\":1,\"p99\":2,\"max\":2}",
             "\"tenants\":[]",
         ] {
             assert!(a.contains(key), "missing {key} in {a}");

@@ -35,6 +35,7 @@ use recross_nmp::session::{ServiceSession, SessionStats};
 use recross_workload::{Batch, Trace};
 
 use crate::batch::{Batcher, BatcherConfig, QueuedJob};
+use crate::obs::{RequestFate, ServeObs};
 use crate::report::{ChannelReport, ServeReport, TenantReport};
 use crate::tenant::{TenantMix, TenantRequest};
 
@@ -46,6 +47,12 @@ struct ChannelOutcome {
     /// Per-request flag: dropped by deadline shedding (as opposed to a
     /// full queue). Only meaningful where `completions` is `None`.
     expired_flags: Vec<bool>,
+    /// Per-request dispatch cycle (`None` for dropped or empty-part
+    /// requests).
+    dispatched_at: Vec<Option<Cycle>>,
+    /// Per-request drop cycle: arrival for queue drops, the dispatch
+    /// trigger for deadline sheds. Only set where `completions` is `None`.
+    dropped_at: Vec<Option<Cycle>>,
     /// Cycles the server spent servicing batches.
     busy: Cycle,
     /// Batches dispatched.
@@ -56,6 +63,11 @@ struct ChannelOutcome {
     expired: u64,
     /// Queue depth sampled after each arrival (aligned across channels).
     depth_after_arrival: Vec<usize>,
+    /// `(cycle, depth)` after every queue transition — arrivals, deadline
+    /// sheds, and batch dispatches. Feeds both the per-channel depth
+    /// percentiles and the obs gauge (same samples, so they cannot
+    /// disagree).
+    depth_samples: Vec<(Cycle, usize)>,
     /// Service-time memo cache activity charged during this run.
     cache: SessionStats,
 }
@@ -68,6 +80,7 @@ fn simulate_channel(
     requests: &[TenantRequest],
     cfg: BatcherConfig,
     session: &mut dyn ServiceSession,
+    mut obs: Option<(&mut ServeObs, usize)>,
 ) -> ChannelOutcome {
     let n = requests.len();
     assert_eq!(sub.batches.len(), n, "one request per batch");
@@ -75,7 +88,10 @@ fn simulate_channel(
     let mut batcher = Batcher::new(cfg);
     let mut completions: Vec<Option<Cycle>> = vec![None; n];
     let mut expired_flags = vec![false; n];
+    let mut dispatched_at: Vec<Option<Cycle>> = vec![None; n];
+    let mut dropped_at: Vec<Option<Cycle>> = vec![None; n];
     let mut depth_after_arrival = Vec::with_capacity(n);
+    let mut depth_samples: Vec<(Cycle, usize)> = Vec::with_capacity(n);
     let mut busy: Cycle = 0;
     let mut dispatches = 0u64;
     let mut server_free: Cycle = 0;
@@ -101,27 +117,45 @@ fn simulate_channel(
             if ops.is_empty() {
                 // Nothing to do on this channel: done on arrival.
                 completions[next] = Some(req.arrival);
-            } else {
-                batcher.offer(QueuedJob {
-                    id: next,
-                    arrival: req.arrival,
-                    cost: sub.batches[next].lookups() as u64,
-                    deadline: req.deadline,
-                    priority: req.priority,
-                    tenant: req.tenant,
-                });
+            } else if !batcher.offer(QueuedJob {
+                id: next,
+                arrival: req.arrival,
+                cost: sub.batches[next].lookups() as u64,
+                deadline: req.deadline,
+                priority: req.priority,
+                tenant: req.tenant,
+            }) {
+                // Tail-dropped by the full queue, at arrival time.
+                dropped_at[next] = Some(req.arrival);
             }
             depth_after_arrival.push(batcher.len());
+            depth_samples.push((req.arrival, batcher.len()));
+            if let Some((o, ch)) = obs.as_mut() {
+                o.depth_sample(*ch, req.arrival, batcher.len());
+            }
             next += 1;
         } else {
             let td = trigger.expect("dispatch arm requires a trigger");
-            for j in batcher.shed_expired(td, service_floor) {
+            let expired_jobs = batcher.shed_expired(td, service_floor);
+            let had_expired = !expired_jobs.is_empty();
+            for j in expired_jobs {
                 expired_flags[j.id] = true;
+                dropped_at[j.id] = Some(td);
+            }
+            if had_expired {
+                depth_samples.push((td, batcher.len()));
+                if let Some((o, ch)) = obs.as_mut() {
+                    o.depth_sample(*ch, td, batcher.len());
+                }
             }
             let jobs = batcher.take_batch();
             if jobs.is_empty() {
                 // Shedding emptied the queue; re-evaluate events.
                 continue;
+            }
+            depth_samples.push((td, batcher.len()));
+            if let Some((o, ch)) = obs.as_mut() {
+                o.depth_sample(*ch, td, batcher.len());
             }
             let merged = Batch {
                 ops: jobs
@@ -129,10 +163,28 @@ fn simulate_channel(
                     .flat_map(|j| sub.batches[j.id].ops.iter().cloned())
                     .collect(),
             };
-            let service = session.service(&merged);
+            // The traced path prices through the same memo (asserted
+            // identical in debug builds), so traced and untraced runs
+            // produce byte-identical reports.
+            let stats_at_dispatch = session.stats();
+            let (service, commands) = match obs.as_mut() {
+                Some((o, _)) if o.dram_trace() => {
+                    let (service, commands) = session.service_traced(&merged);
+                    (service, Some(commands))
+                }
+                _ => (session.service(&merged), None),
+            };
             let done = td + service;
             for j in &jobs {
                 completions[j.id] = Some(done);
+                dispatched_at[j.id] = Some(td);
+            }
+            if let Some((o, ch)) = obs.as_mut() {
+                let hit = session.stats().since(&stats_at_dispatch).hits > 0;
+                o.service_span(*ch, dispatches, jobs.len(), td, done, hit);
+                if let Some(commands) = commands {
+                    o.batch_commands(*ch, td, &commands);
+                }
             }
             let per_job = service / jobs.len() as Cycle;
             service_floor = if service_floor == 0 {
@@ -149,12 +201,74 @@ fn simulate_channel(
     ChannelOutcome {
         completions,
         expired_flags,
+        dispatched_at,
+        dropped_at,
         busy,
         dispatches,
         shed: batcher.shed(),
         expired: batcher.expired(),
         depth_after_arrival,
+        depth_samples,
         cache: session.stats().since(&stats_before),
+    }
+}
+
+/// Replays the per-request outcomes into `obs` as lifecycle spans: one
+/// span per request on its tenant group's lanes, from arrival to the
+/// request's last resolution event, labeled with its fate and annotated
+/// with per-channel dispatch/drop instants.
+fn record_lifecycles(
+    obs: &mut ServeObs,
+    requests: &[TenantRequest],
+    mix: Option<&TenantMix>,
+    outcomes: &[ChannelOutcome],
+) {
+    for (i, req) in requests.iter().enumerate() {
+        // Same merge rule as `ServeReport::from_outcomes`: done = max
+        // completion; a queue drop on any channel outranks a deadline
+        // drop on another.
+        let mut done: Option<Cycle> = Some(req.arrival);
+        let mut queue_shed = false;
+        let mut end = req.arrival;
+        let mut instants: Vec<(Cycle, String)> = Vec::new();
+        for (ch, o) in outcomes.iter().enumerate() {
+            match o.completions[i] {
+                Some(c) => {
+                    done = done.map(|d| d.max(c));
+                    end = end.max(c);
+                    if let Some(td) = o.dispatched_at[i] {
+                        instants.push((td, format!("dispatch ch{ch}")));
+                    }
+                }
+                None => {
+                    done = None;
+                    let t = o.dropped_at[i].unwrap_or(req.arrival);
+                    end = end.max(t);
+                    if o.expired_flags[i] {
+                        instants.push((t, format!("deadline-shed ch{ch}")));
+                    } else {
+                        queue_shed = true;
+                        instants.push((t, format!("queue-shed ch{ch}")));
+                    }
+                }
+            }
+        }
+        let fate = match done {
+            Some(d) if d <= req.deadline => RequestFate::Completed,
+            Some(_) => RequestFate::Late,
+            None if queue_shed => RequestFate::QueueShed,
+            None => RequestFate::DeadlineShed,
+        };
+        instants.sort_by_key(|&(t, _)| t);
+        let group = if mix.is_some() { req.tenant } else { 0 };
+        obs.request_span(
+            group,
+            &format!("req#{i} {}", fate.label()),
+            req.arrival,
+            end,
+            &instants,
+        );
+        obs.tally(fate);
     }
 }
 
@@ -191,6 +305,7 @@ fn run_simulation(
     cfg: BatcherConfig,
     cycles_per_sec: f64,
     sessions: &mut [Box<dyn ServiceSession>],
+    mut obs: Option<&mut ServeObs>,
 ) -> ServeReport {
     assert_eq!(
         requests.len(),
@@ -213,6 +328,13 @@ fn run_simulation(
         "one session per channel (see open_sessions)"
     );
 
+    if let Some(o) = obs.as_deref_mut() {
+        let groups: Vec<String> = match mix {
+            Some(m) => m.classes().iter().map(|c| c.name.clone()).collect(),
+            None => vec!["requests".to_string()],
+        };
+        o.begin(plan.channels(), &groups);
+    }
     let mut outcomes = Vec::with_capacity(plan.channels());
     for (ch, (sub, _orig)) in plan.split(trace).into_iter().enumerate() {
         outcomes.push(simulate_channel(
@@ -220,7 +342,12 @@ fn run_simulation(
             requests,
             cfg,
             sessions[ch].as_mut(),
+            obs.as_deref_mut().map(|o| (o, ch)),
         ));
+    }
+    if let Some(o) = obs {
+        record_lifecycles(o, requests, mix, &outcomes);
+        debug_assert_eq!(o.recorder().validate(), Ok(()));
     }
     ServeReport::from_outcomes(name, requests, mix, cycles_per_sec, &outcomes)
 }
@@ -273,6 +400,54 @@ pub fn simulate_sessions(
         cfg,
         cycles_per_sec,
         sessions,
+        None,
+    )
+}
+
+/// [`simulate_sessions`] with cross-layer tracing: identical simulation
+/// and report (byte-for-byte — tracing never perturbs pricing), but every
+/// event is also recorded into `obs` — request lifecycle spans, server
+/// batch spans, queue-depth gauges, and (unless disabled via
+/// [`ServeObs::set_dram_trace`]) per-dispatch DRAM command tracks.
+///
+/// `obs` must be freshly created ([`ServeObs::new`]); after the call,
+/// export the timeline with [`ServeObs::write_chrome_trace`] and the
+/// attribution summary with [`ServeObs::obs_report`].
+///
+/// # Panics
+///
+/// Same contract as [`simulate_sessions`], plus panics if `obs` already
+/// observed a simulation.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_sessions_obs(
+    name: &str,
+    trace: &Trace,
+    plan: &ChannelPlan,
+    arrivals: &[Cycle],
+    cfg: BatcherConfig,
+    cycles_per_sec: f64,
+    sessions: &mut [Box<dyn ServiceSession>],
+    obs: &mut ServeObs,
+) -> ServeReport {
+    let requests: Vec<TenantRequest> = arrivals
+        .iter()
+        .map(|&arrival| TenantRequest {
+            arrival,
+            tenant: 0,
+            deadline: Cycle::MAX,
+            priority: 0,
+        })
+        .collect();
+    run_simulation(
+        name,
+        trace,
+        plan,
+        &requests,
+        None,
+        cfg,
+        cycles_per_sec,
+        sessions,
+        Some(obs),
     )
 }
 
@@ -315,6 +490,41 @@ pub fn simulate_tenant_sessions(
         cfg,
         cycles_per_sec,
         sessions,
+        None,
+    )
+}
+
+/// [`simulate_tenant_sessions`] with cross-layer tracing — the tenant
+/// counterpart of [`simulate_sessions_obs`]: one lane group per tenant
+/// class, request lifecycle spans labeled completed / late / queue-shed /
+/// deadline-shed, and the same channel-level and DRAM-level tracks.
+///
+/// # Panics
+///
+/// Same contract as [`simulate_tenant_sessions`], plus panics if `obs`
+/// already observed a simulation.
+#[allow(clippy::too_many_arguments)]
+pub fn simulate_tenant_sessions_obs(
+    name: &str,
+    trace: &Trace,
+    plan: &ChannelPlan,
+    requests: &[TenantRequest],
+    mix: &TenantMix,
+    cfg: BatcherConfig,
+    cycles_per_sec: f64,
+    sessions: &mut [Box<dyn ServiceSession>],
+    obs: &mut ServeObs,
+) -> ServeReport {
+    run_simulation(
+        name,
+        trace,
+        plan,
+        requests,
+        Some(mix),
+        cfg,
+        cycles_per_sec,
+        sessions,
+        Some(obs),
     )
 }
 
@@ -377,6 +587,18 @@ where
         cycles_per_sec,
         &mut sessions,
     )
+}
+
+/// Nearest-rank p50/p99/max over one channel's queue-depth transition
+/// samples (all zero when no transitions were sampled).
+fn depth_percentiles(samples: &[(Cycle, usize)]) -> (u64, u64, u64) {
+    if samples.is_empty() {
+        return (0, 0, 0);
+    }
+    let mut depths: Vec<u64> = samples.iter().map(|&(_, d)| d as u64).collect();
+    depths.sort_unstable();
+    let pick = |q: f64| depths[((q * depths.len() as f64).ceil() as usize).clamp(1, depths.len()) - 1];
+    (pick(0.5), pick(0.99), *depths.last().expect("nonempty"))
 }
 
 impl ServeReport {
@@ -456,16 +678,22 @@ impl ServeReport {
             .collect();
         let channels = outcomes
             .iter()
-            .map(|o| ChannelReport {
-                busy_cycles: o.busy,
-                utilization: if makespan > 0 {
-                    o.busy as f64 / makespan as f64
-                } else {
-                    0.0
-                },
-                dispatches: o.dispatches,
-                shed: o.shed,
-                expired: o.expired,
+            .map(|o| {
+                let (depth_p50, depth_p99, depth_max) = depth_percentiles(&o.depth_samples);
+                ChannelReport {
+                    busy_cycles: o.busy,
+                    utilization: if makespan > 0 {
+                        o.busy as f64 / makespan as f64
+                    } else {
+                        0.0
+                    },
+                    dispatches: o.dispatches,
+                    shed: o.shed,
+                    expired: o.expired,
+                    depth_p50,
+                    depth_p99,
+                    depth_max,
+                }
             })
             .collect();
         let mut service_cache = SessionStats::default();
@@ -735,4 +963,113 @@ mod tests {
         assert_eq!(run(QueuePolicy::Edf, true).to_json(), edf.to_json());
         assert_eq!(run(QueuePolicy::Fifo, false).to_json(), fifo.to_json());
     }
+
+    /// The tentpole consistency claims: a traced run produces a
+    /// byte-identical `ServeReport` to the untraced run on the same seed,
+    /// the recorded request-lifecycle spans partition exactly into
+    /// completed + late + queue-shed + deadline-shed matching the report's
+    /// counters, the timeline validates (balanced, monotone per track),
+    /// and both exports are byte-identical across reruns.
+    #[test]
+    fn traced_run_matches_untraced_and_lifecycle_spans_balance() {
+        let (trace, plan, mix, requests, cps) = tenant_setup(96, 4_800_000.0, 7);
+        let dram = DramConfig::ddr5_4800();
+        let cfg = BatcherConfig {
+            max_batch: 8,
+            max_linger: 5_000,
+            queue_depth: 32,
+            policy: QueuePolicy::Edf,
+            shed_expired: true,
+            adaptive_linger: true,
+        };
+        let make = |_: usize, _: &Trace| CpuBaseline::new(dram.clone());
+
+        let mut plain_sessions = open_sessions(&trace, &plan, make);
+        let plain = simulate_tenant_sessions(
+            "CPU", &trace, &plan, &requests, &mix, cfg, cps, &mut plain_sessions,
+        );
+
+        let traced_run = || {
+            let mut sessions = open_sessions(&trace, &plan, make);
+            let mut obs = ServeObs::new(dram.clone());
+            let report = simulate_tenant_sessions_obs(
+                "CPU", &trace, &plan, &requests, &mix, cfg, cps, &mut sessions, &mut obs,
+            );
+            (report, obs)
+        };
+        let (traced, obs) = traced_run();
+
+        // Tracing never perturbs the simulation.
+        assert_eq!(traced.to_json(), plain.to_json());
+
+        // One lifecycle span per request; fates partition exactly and
+        // agree with the report's own accounting.
+        let t = obs.lifecycle_totals();
+        assert_eq!(t.spans, traced.requests);
+        assert_eq!(t.completed + t.late + t.queue_shed + t.deadline_shed, t.spans);
+        assert_eq!(t.queue_shed + t.deadline_shed, traced.shed);
+        assert_eq!(t.completed, traced.tenants.iter().map(|x| x.completed).sum());
+        assert_eq!(t.late, traced.tenants.iter().map(|x| x.missed).sum());
+        assert_eq!(t.queue_shed, traced.tenants.iter().map(|x| x.queue_shed).sum());
+        assert_eq!(
+            t.deadline_shed,
+            traced.tenants.iter().map(|x| x.deadline_shed).sum()
+        );
+        // This configuration exercises both drop paths and real traffic.
+        assert!(t.queue_shed > 0, "queue_depth=32 should tail-drop under overload");
+        assert!(t.deadline_shed > 0, "EDF shedding should fire");
+        assert!(t.completed > 0);
+
+        // The timeline is well-formed and carries DRAM-level spans.
+        assert_eq!(obs.recorder().validate(), Ok(()));
+        let perfetto = obs.chrome_trace_string();
+        assert!(perfetto.contains("\"ph\":\"X\""));
+        assert!(perfetto.contains("rank 0 / bg 0 / bank 0"));
+        assert!(perfetto.contains("tenant: rt"));
+        assert!(perfetto.contains("cache "));
+
+        // ObsReport is consistent with the ServeReport…
+        let summary = obs.obs_report(&traced);
+        assert_eq!(summary.requests, traced.requests);
+        for (oc, cr) in summary.channels.iter().zip(&traced.channels) {
+            assert_eq!(oc.busy_fraction, cr.utilization);
+            assert_eq!(oc.depth_max, cr.depth_max);
+            let a = oc.attribution.as_ref().expect("dram tracing on");
+            // `from_commands` widens the window to the last command's
+            // display end, so it can only meet or exceed the makespan.
+            assert!(a.span >= traced.makespan_cycles);
+            assert!(a.reads > 0);
+        }
+
+        // …and both exports are byte-identical across reruns.
+        let (traced2, obs2) = traced_run();
+        assert_eq!(obs2.chrome_trace_string(), perfetto);
+        assert_eq!(obs2.obs_report(&traced2).to_json(), summary.to_json());
+    }
+
+    /// Timeline-only mode (DRAM tracing off) still matches the untraced
+    /// report and records no bank tracks or attribution.
+    #[test]
+    fn timeline_only_tracing_matches_untraced_report() {
+        let (trace, plan, arrivals, cfg, cps) = serving_setup();
+        let dram = DramConfig::ddr5_4800();
+        let make = |_: usize, _: &Trace| CpuBaseline::new(dram.clone());
+
+        let mut plain_sessions = open_sessions(&trace, &plan, make);
+        let plain =
+            simulate_sessions("CPU", &trace, &plan, &arrivals, cfg, cps, &mut plain_sessions);
+
+        let mut sessions = open_sessions(&trace, &plan, make);
+        let mut obs = ServeObs::new(dram.clone());
+        obs.set_dram_trace(false);
+        let traced = simulate_sessions_obs(
+            "CPU", &trace, &plan, &arrivals, cfg, cps, &mut sessions, &mut obs,
+        );
+        assert_eq!(traced.to_json(), plain.to_json());
+        assert_eq!(obs.lifecycle_totals().spans, traced.requests);
+        let summary = obs.obs_report(&traced);
+        assert!(summary.channels.iter().all(|c| c.attribution.is_none()));
+        assert!(!obs.chrome_trace_string().contains("bank 0"));
+    }
 }
+

@@ -431,6 +431,9 @@ mod tests {
                 dispatches: 1,
                 shed: 0,
                 expired: 0,
+                depth_p50: 0,
+                depth_p99: 0,
+                depth_max: 0,
             }],
             service_cache: SessionStats {
                 hits: 2,
