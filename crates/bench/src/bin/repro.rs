@@ -8,7 +8,10 @@
 //! repro [--quick] serve --slo-search [--slo-p99=US] [--bursty] [--sjf|--edf] [--seed=N] [--out=FILE]
 //! repro [--quick] serve --tenants=SPEC [--slo-search] [--fifo|--sjf] [--seed=N] [--out=FILE]
 //! repro [--quick] serve --trace-out=FILE [--obs-summary[=FILE]] [--arch=cpu|recross] [--load=F] [--timeline-only] [...]
+//! repro [--quick] serve --trace-stream=FILE [--agg-out=FILE] [--arch=cpu|recross] [--load=F] [--timeline-only] [...]
+//! repro [--quick] serve --slo-search --trace-stream=FILE [--agg-out=FILE] [...]
 //! repro [--quick] run [--arch=cpu|recross] [--seed=N] [--trace-out=FILE] [--dram-trace=FILE] [--obs-summary[=FILE]] [--out=FILE]
+//! repro [--quick] run --trace-stream=FILE [--agg-out=FILE] [--arch=cpu|recross] [--seed=N] [--out=FILE]
 //! ```
 //!
 //! `--quick` runs the 1/100-scale workload (seconds instead of minutes);
@@ -46,11 +49,27 @@
 //! `"serve"` section is byte-identical to an untraced run of the same
 //! seed — tracing never perturbs the simulation.
 //!
+//! `--trace-stream=FILE` is the bounded-memory sibling of `--trace-out`:
+//! the same Perfetto timeline, written incrementally to `FILE` *while*
+//! the simulation runs instead of buffered in memory first — the bytes
+//! are identical, but the resident event buffer never grows past a fixed
+//! chunk, so long runs stay flat. It conflicts with `--trace-out` (pick
+//! one). `--agg-out=FILE` runs the online aggregation engine alongside
+//! (per-tenant queue/service histograms, per-channel busy fractions,
+//! span-duration stats, gauge percentiles, computed without retaining
+//! events) and writes its deterministic JSON to `FILE`. Uniquely among
+//! the tracing flags, `--trace-stream`/`--agg-out` compose with
+//! `--slo-search`: the search runs untraced as usual, then the found
+//! max-QPS point is re-served fully traced through the streaming path.
+//!
 //! `run` is the closed-loop sibling (not part of `all`): the standard
 //! fixed trace runs batch-by-batch on one architecture, and the full
 //! DRAM command stream is captured. `--trace-out` writes the unified
 //! timeline, `--dram-trace` writes the original bank-tracks-only Chrome
-//! trace, `--obs-summary` emits the attribution JSON.
+//! trace, `--obs-summary` emits the attribution JSON. `--trace-stream`
+//! and `--agg-out` work as for `serve`; `--trace-stream` drops the
+//! retained command vector too (attribution folds incrementally), so it
+//! conflicts with `--dram-trace` as well as `--trace-out`.
 
 use recross_bench::experiments as exp;
 use recross_bench::workloads::{dram, standard_trace, Scale};
@@ -464,24 +483,40 @@ fn serve(scale: Scale, args: &[String]) {
     let out = cli::value_of(args, "--out");
 
     let slo = args.iter().any(|a| a == "--slo-search");
-    let traced = cli::value_of(args, "--trace-out").is_some()
-        || cli::parse_obs_summary(args) != cli::ObsSummary::Off;
-    if traced && slo {
+    let streaming =
+        cli::value_of(args, "--trace-stream").is_some() || cli::value_of(args, "--agg-out").is_some();
+    if cli::value_of(args, "--trace-stream").is_some() && cli::value_of(args, "--trace-out").is_some()
+    {
         fail(
-            "--trace-out/--obs-summary trace a single serving point; \
-             they conflict with --slo-search"
+            "--trace-out buffers the whole timeline in memory; --trace-stream \
+             writes it incrementally — pick one"
                 .to_string(),
         );
     }
-    let json = if traced {
+    let traced = cli::value_of(args, "--trace-out").is_some()
+        || streaming
+        || cli::parse_obs_summary(args) != cli::ObsSummary::Off;
+    if traced && slo && !streaming {
+        fail(
+            "--trace-out/--obs-summary trace a single serving point; \
+             they conflict with --slo-search (use --trace-stream/--agg-out \
+             to trace the found max-QPS point)"
+                .to_string(),
+        );
+    }
+    let json = if traced && !slo {
         serve_trace_point(scale, tenants.as_ref(), bursty, policy, seed, args)
     } else {
-        match (&tenants, slo) {
+        let (json, rates) = match (&tenants, slo) {
             (Some(mix), true) => serve_tenant_slo(scale, mix, policy, seed),
-            (Some(mix), false) => serve_tenant_sweep(scale, mix, policy, seed),
+            (Some(mix), false) => (serve_tenant_sweep(scale, mix, policy, seed), Vec::new()),
             (None, true) => serve_slo_search(scale, bursty, policy, seed, slo_p99_us),
-            (None, false) => serve_qps_sweep(scale, bursty, policy, seed),
+            (None, false) => (serve_qps_sweep(scale, bursty, policy, seed), Vec::new()),
+        };
+        if slo && streaming {
+            serve_slo_stream_rerun(scale, tenants.as_ref(), bursty, policy, seed, &rates, args);
         }
+        json
     };
     match out {
         Some(path) => {
@@ -515,6 +550,36 @@ fn emit_obs_summary(args: &[String], json: &str) {
     }
 }
 
+/// Opens the `--trace-stream` target for incremental writing (exit 2 on
+/// failure).
+fn open_stream(path: &str) -> Box<dyn std::io::Write> {
+    match std::fs::File::create(path) {
+        Ok(f) => Box::new(std::io::BufWriter::new(f)),
+        Err(e) => {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+/// One human-readable line on the recorder's memory footprint and sink
+/// drop counters.
+fn recorder_stats_line(heap: usize, sinks: &[recross_obs::SinkStats]) -> String {
+    let sinks = if sinks.is_empty() {
+        "none".to_string()
+    } else {
+        sinks
+            .iter()
+            .map(|s| format!("{} ({} dropped)", s.kind, s.dropped))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+    format!(
+        "recorder: heap high-water {:.1} KiB; sinks: {sinks}",
+        heap as f64 / 1024.0
+    )
+}
+
 fn serve_trace_point(
     scale: Scale,
     mix: Option<&recross_serve::TenantMix>,
@@ -532,9 +597,20 @@ fn serve_trace_point(
     let arch = cli::parse_arch(args).unwrap_or_else(|e| fail(e));
     let load = cli::parse_load(args).unwrap_or_else(|e| fail(e));
     let dram_tracks = !args.iter().any(|a| a == "--timeline-only");
+    let stream = cli::value_of(args, "--trace-stream");
+    let agg_out = cli::value_of(args, "--agg-out");
 
     banner("recross-obs: traced serving point (request lanes down to DRAM commands)");
-    let p = serving::traced_point(scale, arch, mix, load, bursty, policy, seed, dram_tracks);
+    let opts = serving::TraceOptions {
+        stream: stream.map(open_stream),
+        agg: agg_out.is_some(),
+        // Streaming runs drop the in-memory buffer: that is the point.
+        buffered: stream.is_none(),
+    };
+    let p = serving::traced_point_with(
+        scale, arch, mix, load, bursty, policy, seed, dram_tracks, opts,
+    )
+    .unwrap_or_else(|e| fail(format!("cannot write streamed trace: {e}")));
     println!(
         "{}: {:.0} offered qps ({:.2}x of {:.0} capacity qps), {} requests: \
          {} completed, {} late, {} queue-shed, {} deadline-shed",
@@ -567,11 +643,87 @@ fn serve_trace_point(
             println!("    {}", recross_dram::attribution::summarize(&format!("ch{ch}"), a));
         }
     }
+    println!("{}", recorder_stats_line(p.obs.heap_capacity, &p.obs.sinks));
     if let Some(path) = cli::value_of(args, "--trace-out") {
-        write_artifact(path, &p.perfetto, "Perfetto timeline (open in https://ui.perfetto.dev)");
+        let perfetto = p.perfetto.as_deref().expect("buffered run keeps the timeline");
+        write_artifact(path, perfetto, "Perfetto timeline (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = stream {
+        println!("wrote streamed Perfetto timeline {path} (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = agg_out {
+        let agg = p.agg.as_ref().expect("agg enabled by --agg-out");
+        write_artifact(path, &format!("{}\n", agg.to_json()), "online aggregates");
     }
     emit_obs_summary(args, &p.obs.to_json());
     serving::traced_point_to_json(&p, scale, mix, bursty, policy, seed)
+}
+
+/// The `--slo-search --trace-stream/--agg-out` composition: the search
+/// already ran untraced; re-serve the found max-QPS point for the
+/// selected architecture through the streaming tracer. `rates` carries
+/// `(arch, max_qps, bracket_hi_qps)` per searched architecture; the
+/// capacity estimate is recovered from the bracket (`hi = 2 × capacity`).
+fn serve_slo_stream_rerun(
+    scale: Scale,
+    mix: Option<&recross_serve::TenantMix>,
+    bursty: bool,
+    policy: recross_serve::QueuePolicy,
+    seed: u64,
+    rates: &[(String, f64, f64)],
+    args: &[String],
+) {
+    use recross_bench::{cli, serving};
+
+    let fail = |e: String| -> ! {
+        eprintln!("{e}");
+        std::process::exit(2);
+    };
+    let arch = cli::parse_arch(args).unwrap_or_else(|e| fail(e));
+    let (_, max_qps, bracket_hi) = rates
+        .iter()
+        .find(|(a, _, _)| a == arch)
+        .unwrap_or_else(|| fail(format!("search produced no rate for {arch}")));
+    if *max_qps <= 0.0 {
+        println!("{arch}: no SLO-compliant rate in bracket; skipping traced re-run");
+        return;
+    }
+    let capacity = bracket_hi / 2.0;
+    let load = max_qps / capacity;
+    let dram_tracks = !args.iter().any(|a| a == "--timeline-only");
+    let stream = cli::value_of(args, "--trace-stream");
+    let agg_out = cli::value_of(args, "--agg-out");
+
+    banner("recross-obs: streamed re-run of the found max-QPS point");
+    let opts = serving::TraceOptions {
+        stream: stream.map(open_stream),
+        agg: agg_out.is_some(),
+        buffered: false,
+    };
+    let p = serving::traced_point_with(
+        scale, arch, mix, load, bursty, policy, seed, dram_tracks, opts,
+    )
+    .unwrap_or_else(|e| fail(format!("cannot write streamed trace: {e}")));
+    println!(
+        "{}: re-served {:.0} qps ({:.2}x of {:.0} capacity qps): \
+         {} completed, {} late, {} queue-shed, {} deadline-shed",
+        p.arch,
+        p.offered_qps,
+        p.load,
+        p.capacity_qps,
+        p.obs.completed,
+        p.obs.late,
+        p.obs.queue_shed,
+        p.obs.deadline_shed
+    );
+    println!("{}", recorder_stats_line(p.obs.heap_capacity, &p.obs.sinks));
+    if let Some(path) = stream {
+        println!("wrote streamed Perfetto timeline {path} (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = agg_out {
+        let agg = p.agg.as_ref().expect("agg enabled by --agg-out");
+        write_artifact(path, &format!("{}\n", agg.to_json()), "online aggregates");
+    }
 }
 
 fn run_traced(scale: Scale, args: &[String]) {
@@ -583,9 +735,31 @@ fn run_traced(scale: Scale, args: &[String]) {
     };
     let arch = cli::parse_arch(args).unwrap_or_else(|e| fail(e));
     let seed = cli::parse_seed(args).unwrap_or_else(|e| fail(e));
+    let stream = cli::value_of(args, "--trace-stream");
+    let agg_out = cli::value_of(args, "--agg-out");
+    if stream.is_some() && cli::value_of(args, "--trace-out").is_some() {
+        fail(
+            "--trace-out buffers the whole timeline in memory; --trace-stream \
+             writes it incrementally — pick one"
+                .to_string(),
+        );
+    }
+    if stream.is_some() && cli::value_of(args, "--dram-trace").is_some() {
+        fail(
+            "--dram-trace needs the retained command vector, which \
+             --trace-stream deliberately drops — pick one"
+                .to_string(),
+        );
+    }
 
     banner("recross-obs: closed-loop traced run (engine batches down to DRAM commands)");
-    let rt = runtrace::closed_loop_trace(scale, arch, seed, 0);
+    let opts = recross_bench::serving::TraceOptions {
+        stream: stream.map(open_stream),
+        agg: agg_out.is_some(),
+        buffered: stream.is_none(),
+    };
+    let rt = runtrace::closed_loop_trace_with(scale, arch, seed, 0, opts)
+        .unwrap_or_else(|e| fail(format!("cannot write streamed trace: {e}")));
     println!(
         "{} ({}): {} batches, {} lookups, {} cycles, {} DRAM commands",
         rt.arch,
@@ -593,14 +767,24 @@ fn run_traced(scale: Scale, args: &[String]) {
         rt.batches.len(),
         rt.lookups,
         rt.total_cycles,
-        rt.commands.len()
+        rt.command_count
     );
     println!("{}", rt.summary_line());
+    let (heap, sinks) = rt.recorder_stats();
+    println!("{}", recorder_stats_line(heap, &sinks));
     if let Some(path) = cli::value_of(args, "--trace-out") {
-        write_artifact(path, &rt.perfetto(), "Perfetto timeline (open in https://ui.perfetto.dev)");
+        let perfetto = rt.perfetto().expect("buffered capture keeps the timeline");
+        write_artifact(path, &perfetto, "Perfetto timeline (open in https://ui.perfetto.dev)");
+    }
+    if let Some(path) = stream {
+        println!("wrote streamed Perfetto timeline {path} (open in https://ui.perfetto.dev)");
     }
     if let Some(path) = cli::value_of(args, "--dram-trace") {
         write_artifact(path, &rt.dram_chrome_trace(), "DRAM command trace");
+    }
+    if let Some(path) = agg_out {
+        let agg = rt.aggregates().expect("agg enabled by --agg-out");
+        write_artifact(path, &format!("{}\n", agg.to_json()), "online aggregates");
     }
     let json = rt.to_json(scale, seed);
     emit_obs_summary(args, &json);
@@ -654,7 +838,7 @@ fn serve_slo_search(
     policy: recross_serve::QueuePolicy,
     seed: u64,
     slo_p99_us: f64,
-) -> String {
+) -> (String, Vec<(String, f64, f64)>) {
     use recross_bench::serving;
 
     banner("recross-serve: closed-loop SLO throughput search (bisection over offered QPS)");
@@ -675,7 +859,11 @@ fn serve_slo_search(
             r.cache_total().hit_rate() * 100.0
         );
     }
-    serving::slo_to_json(&reports, scale, bursty, policy, seed)
+    let rates = reports
+        .iter()
+        .map(|r| (r.arch.clone(), r.max_qps, r.bracket_hi_qps))
+        .collect();
+    (serving::slo_to_json(&reports, scale, bursty, policy, seed), rates)
 }
 
 fn serve_tenant_sweep(
@@ -717,7 +905,7 @@ fn serve_tenant_slo(
     mix: &recross_serve::TenantMix,
     policy: recross_serve::QueuePolicy,
     seed: u64,
-) -> String {
+) -> (String, Vec<(String, f64, f64)>) {
     use recross_bench::serving;
 
     banner("recross-serve: multi-tenant SLO search (max aggregate QPS, every tenant on time)");
@@ -750,7 +938,11 @@ fn serve_tenant_slo(
             ),
         }
     }
-    serving::tenant_slo_to_json(&reports, scale, mix, policy, seed)
+    let rates = reports
+        .iter()
+        .map(|r| (r.arch.clone(), r.max_qps, r.bracket_hi_qps))
+        .collect();
+    (serving::tenant_slo_to_json(&reports, scale, mix, policy, seed), rates)
 }
 
 fn overheads(scale: Scale) {

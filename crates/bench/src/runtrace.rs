@@ -14,20 +14,32 @@
 //! so the reported cycles match an untraced run of the same trace
 //! exactly, and everything is deterministic in the seed — reruns are
 //! byte-identical.
+//!
+//! Attribution is folded incrementally through
+//! [`recross_dram::attribution::AttributionBuilder`] as batches complete,
+//! so the stored summary never needs the full command vector. With
+//! [`TraceOptions`] the timeline can additionally be streamed to a writer
+//! and aggregated online while the run executes; `buffered: false` then
+//! drops both the in-memory event buffer and the retained command vector,
+//! bounding resident memory for long runs (`repro run --trace-stream`).
 
-use recross_dram::attribution::{summarize, CommandAttribution};
+use std::cell::RefCell;
+use std::rc::Rc;
+
+use recross_dram::attribution::{summarize, AttributionBuilder, CommandAttribution};
 use recross_dram::traceviz::{dram_tracks, record_commands};
 use recross_dram::{Cycle, DramConfig, IssuedCommand};
 use recross_nmp::multichannel::ChannelPlan;
-use recross_obs::{chrome_trace_string, Recorder};
+use recross_obs::agg::{Aggregates, Aggregator};
+use recross_obs::{chrome_trace_string, ChromeStreamSink, Recorder};
 use recross_serve::report::{fmt_f64, json_string};
 
-use crate::serving::arch_sessions;
+use crate::serving::{arch_sessions, TraceOptions};
 use crate::workloads::{dram, generator, Scale};
 
-/// A captured closed-loop run: per-batch cycle costs, the full
-/// (dispatch-time-shifted) DRAM command trace, and the recorder holding
-/// the unified timeline.
+/// A captured closed-loop run: per-batch cycle costs, the incrementally
+/// folded bottleneck attribution, and the recorder holding the unified
+/// timeline.
 #[derive(Debug)]
 pub struct RunTrace {
     /// Architecture name as it appears in the reports.
@@ -40,32 +52,67 @@ pub struct RunTrace {
     /// Total run length in DRAM cycles (the last batch's end).
     pub total_cycles: Cycle,
     /// Every DRAM command of the run, shifted to its batch's dispatch
-    /// cycle.
+    /// cycle. Empty for unbuffered captures ([`TraceOptions::buffered`]
+    /// off), which fold attribution without retaining commands.
     pub commands: Vec<IssuedCommand>,
     /// Total embedding lookups serviced.
     pub lookups: u64,
+    /// DRAM commands folded into the attribution (equals
+    /// `commands.len()` when the command vector is retained).
+    pub command_count: u64,
+    attribution: CommandAttribution,
+    agg: Option<Aggregates>,
+    buffered: bool,
     recorder: Recorder,
     dram: DramConfig,
 }
 
 impl RunTrace {
     /// Cycle-level bottleneck attribution over the whole command trace
-    /// (C/A bus vs data bus vs tRCD/tRP overlap vs bank conflicts).
+    /// (C/A bus vs data bus vs tRCD/tRP overlap vs bank conflicts),
+    /// folded incrementally as the run executed — identical to a
+    /// one-shot `CommandAttribution::from_commands` over the full
+    /// retained trace.
     pub fn attribution(&self) -> CommandAttribution {
-        CommandAttribution::from_commands(&self.commands, &self.dram, self.total_cycles)
+        self.attribution.clone()
+    }
+
+    /// Online aggregates (span-duration stats per class, counter-gauge
+    /// percentiles), when the run was captured with
+    /// [`TraceOptions::agg`] on.
+    pub fn aggregates(&self) -> Option<&Aggregates> {
+        self.agg.as_ref()
     }
 
     /// The unified Perfetto / Chrome-trace timeline (engine batch spans +
-    /// per-bank DRAM command tracks) as a JSON string.
-    pub fn perfetto(&self) -> String {
-        chrome_trace_string(&self.recorder, self.dram.cycles_to_ns(1))
+    /// per-bank DRAM command tracks) as a JSON string. `None` for
+    /// unbuffered captures — the timeline was streamed to the
+    /// [`TraceOptions::stream`] writer instead.
+    pub fn perfetto(&self) -> Option<String> {
+        self.buffered
+            .then(|| chrome_trace_string(&self.recorder, self.dram.cycles_to_ns(1)))
+    }
+
+    /// Per-sink drop counters and the recorder heap high-water mark, for
+    /// surfacing in human-readable output.
+    pub fn recorder_stats(&self) -> (usize, Vec<recross_obs::SinkStats>) {
+        (self.recorder.heap_capacity(), self.recorder.sink_stats())
     }
 
     /// The original single-channel DRAM-command Chrome trace (bank tracks
     /// only, no engine spans), via
     /// [`recross_dram::traceviz::write_chrome_trace`] — the `--dram-trace`
     /// compatibility format.
+    ///
+    /// # Panics
+    ///
+    /// Panics for unbuffered captures: the command vector was not
+    /// retained.
     pub fn dram_chrome_trace(&self) -> String {
+        assert!(
+            self.buffered,
+            "--dram-trace needs the retained command vector (buffered capture)"
+        );
         let mut buf = Vec::new();
         recross_dram::traceviz::write_chrome_trace(&self.commands, &self.dram, &mut buf)
             .expect("writing to a Vec cannot fail");
@@ -79,7 +126,8 @@ impl RunTrace {
 
     /// The run as one JSON document: metadata envelope, per-batch cycle
     /// costs, and the bottleneck attribution under `"dram"`
-    /// (deterministic bytes for a given input).
+    /// (deterministic bytes for a given input — identical for buffered
+    /// and unbuffered captures of the same run).
     pub fn to_json(&self, scale: Scale, seed: u64) -> String {
         let scale_name = match scale {
             Scale::Paper => "paper",
@@ -107,9 +155,9 @@ impl RunTrace {
             seed,
             batches.join(","),
             self.total_cycles,
-            self.commands.len(),
+            self.command_count,
             fmt_f64(self.lookups as f64 / self.total_cycles.max(1) as f64),
-            self.attribution().to_json()
+            self.attribution.to_json()
         )
     }
 }
@@ -121,6 +169,24 @@ impl RunTrace {
 /// multi-channel sharding lives). `max_batches` caps how many trace
 /// batches are traced (0 means all).
 pub fn closed_loop_trace(scale: Scale, arch: &str, seed: u64, max_batches: usize) -> RunTrace {
+    closed_loop_trace_with(scale, arch, seed, max_batches, TraceOptions::default())
+        .expect("in-memory tracing cannot fail on IO")
+}
+
+/// [`closed_loop_trace`] with explicit [`TraceOptions`]: stream the
+/// timeline to a writer while the run executes, aggregate online, and/or
+/// drop the in-memory buffers (`buffered: false` retains neither events
+/// nor the command vector — attribution and `to_json` are unaffected,
+/// since both fold incrementally). The streamed bytes are byte-identical
+/// to [`RunTrace::perfetto`] of a buffered capture with the same inputs.
+/// Returns `Err` only when the stream writer fails.
+pub fn closed_loop_trace_with(
+    scale: Scale,
+    arch: &str,
+    seed: u64,
+    max_batches: usize,
+    opts: TraceOptions,
+) -> std::io::Result<RunTrace> {
     let d = dram();
     let mut trace = generator(scale, 64).generate(seed);
     if max_batches > 0 {
@@ -131,12 +197,24 @@ pub fn closed_loop_trace(scale: Scale, arch: &str, seed: u64, max_batches: usize
     let session = &mut arch_sessions(arch, &trace, &plan, batch_hint)[0];
 
     let mut rec = Recorder::new();
+    if let Some(w) = opts.stream {
+        rec.attach(Box::new(ChromeStreamSink::new(w, d.cycles_to_ns(1))));
+    }
+    let agg_handle = opts.agg.then(|| {
+        let h = Rc::new(RefCell::new(Aggregator::default()));
+        rec.attach(Box::new(h.clone()));
+        h
+    });
+    if !opts.buffered {
+        rec.unbuffer();
+    }
     let engine = rec.track("engine", None);
     let ch_root = rec.track("DRAM channel 0", None);
     let mut tracks = dram_tracks(&mut rec, ch_root, &d);
 
     let mut cursor: Cycle = 0;
     let mut batches = Vec::with_capacity(trace.batches.len());
+    let mut builder = AttributionBuilder::new(&d);
     let mut commands = Vec::new();
     let mut lookups: u64 = 0;
     for (i, b) in trace.batches.iter().enumerate() {
@@ -148,31 +226,40 @@ pub fn closed_loop_trace(scale: Scale, arch: &str, seed: u64, max_batches: usize
             cursor + cycles,
         );
         record_commands(&mut rec, &mut tracks, &d, &trace_cmds, cursor);
-        commands.extend(trace_cmds.into_iter().map(|mut ic| {
-            ic.cycle += cursor;
-            ic
-        }));
+        builder.fold(&trace_cmds, cursor);
+        if opts.buffered {
+            commands.extend(trace_cmds.into_iter().map(|mut ic| {
+                ic.cycle += cursor;
+                ic
+            }));
+        }
         batches.push((i, cursor, cycles));
         lookups += b.ops.len() as u64;
         cursor += cycles;
     }
     debug_assert_eq!(rec.validate(), Ok(()));
+    rec.finish()?;
 
-    RunTrace {
+    Ok(RunTrace {
         arch: arch.to_string(),
         engine: session.name().to_string(),
         batches,
         total_cycles: cursor,
         commands,
+        lookups,
+        command_count: builder.commands(),
+        attribution: builder.snapshot(cursor),
+        agg: agg_handle.map(|h| h.borrow().snapshot()),
+        buffered: opts.buffered,
         recorder: rec,
         dram: d,
-        lookups,
-    }
+    })
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use recross_obs::SharedWriter;
 
     #[test]
     fn closed_loop_trace_is_consistent_and_deterministic() {
@@ -182,6 +269,7 @@ mod tests {
         assert!(!rt.batches.is_empty());
         assert!(rt.total_cycles > 0);
         assert!(!rt.commands.is_empty());
+        assert_eq!(rt.command_count, rt.commands.len() as u64);
         // Batches tile the run back-to-back.
         let mut expect = 0;
         for &(_, start, cycles) in &rt.batches {
@@ -190,10 +278,15 @@ mod tests {
         }
         assert_eq!(expect, rt.total_cycles);
         // Attribution covers the run (display durations may spill past
-        // the last command's issue cycle).
+        // the last command's issue cycle) and the incremental fold equals
+        // the one-shot recompute over the retained command vector.
         let a = rt.attribution();
         assert!(a.span >= rt.total_cycles);
         assert!(a.reads > 0);
+        assert_eq!(
+            a,
+            CommandAttribution::from_commands(&rt.commands, &dram(), rt.total_cycles)
+        );
 
         let rt2 = closed_loop_trace(Scale::Tiny, "ReCross", 0xD17A, 0);
         assert_eq!(rt.perfetto(), rt2.perfetto(), "same seed, same bytes");
@@ -223,7 +316,7 @@ mod tests {
         assert!(json.contains("\"arch\":\"CPU\""));
         assert!(json.contains("\"dram\":{"));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
-        let p = rt.perfetto();
+        let p = rt.perfetto().expect("buffered capture keeps the timeline");
         assert!(p.contains("\"engine\""));
         assert!(p.contains("rank 0 / bg 0 / bank 0"));
         assert!(p.contains("batch#0"));
@@ -232,5 +325,50 @@ mod tests {
         assert!(legacy.contains("rank 0 / bg 0 / bank 0"));
         assert!(!legacy.contains("\"engine\""));
         assert!(rt.summary_line().contains("CPU"));
+    }
+
+    #[test]
+    fn streamed_capture_matches_buffered_without_retaining_commands() {
+        let buffered = closed_loop_trace(Scale::Tiny, "ReCross", 0xD17B, 0);
+
+        let out = SharedWriter::new();
+        let streamed = closed_loop_trace_with(
+            Scale::Tiny,
+            "ReCross",
+            0xD17B,
+            0,
+            TraceOptions {
+                stream: Some(Box::new(out.clone())),
+                agg: true,
+                buffered: false,
+            },
+        )
+        .expect("stream writer cannot fail");
+
+        // The streamed file is byte-identical to the in-memory export,
+        // and the run's JSON (incremental attribution included) does not
+        // depend on whether commands/events were retained.
+        assert_eq!(out.contents(), buffered.perfetto().unwrap());
+        assert_eq!(
+            streamed.to_json(Scale::Tiny, 0xD17B),
+            buffered.to_json(Scale::Tiny, 0xD17B)
+        );
+        assert!(streamed.perfetto().is_none());
+        assert!(streamed.commands.is_empty(), "unbuffered retains no commands");
+        assert_eq!(streamed.command_count, buffered.commands.len() as u64);
+
+        // Nothing dropped, and the online aggregates saw the whole run:
+        // one `batch` span per batch, makespan covering the run.
+        let (_, sinks) = streamed.recorder_stats();
+        assert!(sinks.iter().all(|s| s.dropped == 0));
+        assert!(sinks.iter().all(|s| s.kind != "memory"));
+        let agg = streamed.aggregates().expect("agg enabled");
+        let batch_spans = agg
+            .spans
+            .iter()
+            .find(|(name, _)| name == "batch")
+            .expect("batch span class");
+        assert_eq!(batch_spans.1.count(), streamed.batches.len() as u64);
+        assert!(agg.makespan_cycles >= streamed.total_cycles);
     }
 }

@@ -559,6 +559,41 @@ pub fn tenant_slo_to_json(
     )
 }
 
+/// How a traced point records its timeline: buffered in memory (the
+/// default), streamed incrementally to a writer, aggregated online, or
+/// any combination. Streaming with `buffered: false` bounds the resident
+/// event memory regardless of run length.
+pub struct TraceOptions {
+    /// Stream the Perfetto timeline incrementally to this writer while
+    /// the simulation runs (byte-identical to the in-memory export).
+    pub stream: Option<Box<dyn std::io::Write>>,
+    /// Run the online aggregation engine alongside the simulation.
+    pub agg: bool,
+    /// Retain the full event buffer in memory (needed for
+    /// [`TracedPoint::perfetto`]); turn off for bounded-memory long runs.
+    pub buffered: bool,
+}
+
+impl Default for TraceOptions {
+    fn default() -> Self {
+        TraceOptions {
+            stream: None,
+            agg: false,
+            buffered: true,
+        }
+    }
+}
+
+impl std::fmt::Debug for TraceOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("TraceOptions")
+            .field("stream", &self.stream.is_some())
+            .field("agg", &self.agg)
+            .field("buffered", &self.buffered)
+            .finish()
+    }
+}
+
 /// One traced serving run at a single offered-load point: the ordinary
 /// [`ServeReport`] (byte-identical to an untraced run of the same seed),
 /// the cross-layer [`ObsReport`] with bottleneck attribution, and the
@@ -579,8 +614,11 @@ pub struct TracedPoint {
     pub report: ServeReport,
     /// The cross-layer observability report.
     pub obs: ObsReport,
-    /// The Perfetto / Chrome-trace timeline, as a JSON string.
-    pub perfetto: String,
+    /// The Perfetto / Chrome-trace timeline, as a JSON string. `None`
+    /// when the run was unbuffered (streamed to a writer instead).
+    pub perfetto: Option<String>,
+    /// Online aggregates, when [`TraceOptions::agg`] was on.
+    pub agg: Option<recross_obs::agg::Aggregates>,
 }
 
 /// Runs one traced serving point for a single architecture at
@@ -602,6 +640,38 @@ pub fn traced_point(
     seed: u64,
     dram_trace: bool,
 ) -> TracedPoint {
+    traced_point_with(
+        scale,
+        arch,
+        mix,
+        load,
+        bursty,
+        policy,
+        seed,
+        dram_trace,
+        TraceOptions::default(),
+    )
+    .expect("in-memory tracing cannot fail on IO")
+}
+
+/// [`traced_point`] with explicit [`TraceOptions`]: stream the timeline
+/// to a writer while the simulation runs, aggregate online, and/or drop
+/// the in-memory event buffer for bounded-memory long runs. The streamed
+/// bytes are byte-identical to [`TracedPoint::perfetto`] of a buffered
+/// run with the same inputs. Returns `Err` only when the stream writer
+/// fails.
+#[allow(clippy::too_many_arguments)]
+pub fn traced_point_with(
+    scale: Scale,
+    arch: &str,
+    mix: Option<&TenantMix>,
+    load: f64,
+    bursty: bool,
+    policy: QueuePolicy,
+    seed: u64,
+    dram_trace: bool,
+    opts: TraceOptions,
+) -> std::io::Result<TracedPoint> {
     let d = dram();
     let cps = d.cycles_per_sec();
     let n = requests_for(scale);
@@ -618,6 +688,15 @@ pub fn traced_point(
 
     let mut obs = ServeObs::new(d);
     obs.set_dram_trace(dram_trace);
+    if let Some(w) = opts.stream {
+        obs.stream_to(w);
+    }
+    if opts.agg {
+        obs.enable_agg();
+    }
+    if !opts.buffered {
+        obs.unbuffer();
+    }
     let report = match mix {
         Some(m) => {
             let requests = m.requests(n, qps, cps, seed ^ 0xA221);
@@ -630,9 +709,11 @@ pub fn traced_point(
             simulate_sessions_obs(arch, &trace, &plan, &arrivals, cfg, cps, &mut sessions, &mut obs)
         }
     };
+    obs.finish()?;
     let obs_report = obs.obs_report(&report);
-    let perfetto = obs.chrome_trace_string();
-    TracedPoint {
+    let perfetto = opts.buffered.then(|| obs.chrome_trace_string());
+    let agg = obs.aggregates();
+    Ok(TracedPoint {
         arch: arch.to_string(),
         load,
         capacity_qps: capacity,
@@ -641,7 +722,8 @@ pub fn traced_point(
         report,
         obs: obs_report,
         perfetto,
-    }
+        agg,
+    })
 }
 
 /// A traced point as one JSON document: the run's metadata envelope, the
@@ -859,8 +941,9 @@ mod tests {
         // The obs side is consistent with the report.
         assert_eq!(p.obs.requests, p.report.requests);
         assert_eq!(p.obs.channels.len(), CHANNELS);
-        assert!(p.perfetto.contains("\"ph\":\"X\""));
-        assert!(p.perfetto.contains("rank 0 / bg 0 / bank 0"));
+        let perfetto = p.perfetto.as_deref().expect("buffered run keeps the timeline");
+        assert!(perfetto.contains("\"ph\":\"X\""));
+        assert!(perfetto.contains("rank 0 / bg 0 / bank 0"));
     }
 
     #[test]
@@ -879,7 +962,7 @@ mod tests {
             );
             (
                 traced_point_to_json(&p, Scale::Tiny, Some(&mix), false, QueuePolicy::Edf, 0x91),
-                p.perfetto,
+                p.perfetto.expect("buffered run keeps the timeline"),
             )
         };
         let (a, b) = (go(), go());
@@ -892,6 +975,63 @@ mod tests {
         // Timeline-only mode: no per-command bank tracks.
         assert!(a.1.contains("tenant: rt"));
         assert!(!a.1.contains("bank 0"));
+    }
+
+    #[test]
+    fn streamed_point_is_byte_identical_to_buffered_with_bounded_memory() {
+        use recross_obs::SharedWriter;
+
+        let run = |opts: TraceOptions| {
+            traced_point_with(
+                Scale::Tiny,
+                "CPU",
+                Some(&test_mix()),
+                1.2,
+                false,
+                QueuePolicy::Edf,
+                0x92,
+                true,
+                opts,
+            )
+            .expect("stream writer cannot fail")
+        };
+
+        let buffered = run(TraceOptions::default());
+        let perfetto = buffered.perfetto.as_deref().expect("buffered");
+
+        let out = SharedWriter::new();
+        let streamed = run(TraceOptions {
+            stream: Some(Box::new(out.clone())),
+            agg: true,
+            buffered: false,
+        });
+
+        // The simulation itself is identical either way…
+        assert_eq!(streamed.report.to_json(), buffered.report.to_json());
+        // …the streamed file is byte-identical to the in-memory export…
+        assert_eq!(out.contents(), perfetto);
+        assert!(streamed.perfetto.is_none(), "unbuffered run retains no timeline");
+        // …and nothing was dropped. The streamed run retains no event
+        // buffer at all (no memory sink; `recross_obs` asserts the
+        // chunk-bounded event buffer directly at 50k events), so its
+        // resident heap is string tables + the fixed stream chunk: at
+        // most a chunk-scale envelope over the buffered run even at this
+        // tiny scale, and independent of run length where the buffered
+        // footprint grows with every event.
+        assert!(streamed.obs.sinks.iter().all(|s| s.dropped == 0));
+        assert!(streamed.obs.sinks.iter().all(|s| s.kind != "memory"));
+        assert!(
+            streamed.obs.heap_capacity
+                < buffered.obs.heap_capacity + 3 * recross_obs::STREAM_CHUNK,
+            "streamed heap {} should stay within a chunk-scale envelope of buffered heap {}",
+            streamed.obs.heap_capacity,
+            buffered.obs.heap_capacity
+        );
+        // The online aggregates carry the per-tenant story the dropped
+        // buffer would have: fates partition the request count.
+        let agg = streamed.agg.as_ref().expect("agg enabled");
+        let total: u64 = agg.tenants.iter().map(|t| t.requests()).sum();
+        assert_eq!(total, streamed.report.requests);
     }
 
     #[test]

@@ -15,7 +15,7 @@
 use recross_obs::{fmt_f64, json_string};
 
 use crate::command::{CommandKind, DataScope, IssuedCommand};
-use crate::config::{Cycle, DramConfig};
+use crate::config::{Cycle, DramConfig, TimingParams, Topology};
 
 /// Per-region PE (or DQ) busy cycles: one slot per rank, per flat bank
 /// group, and per flat bank. A region is *busy* for the burst duration of
@@ -73,41 +73,74 @@ pub struct CommandAttribution {
     pub pe: PeBusy,
 }
 
-impl CommandAttribution {
-    /// Attributes `trace` (cycle-sorted, as [`crate::Controller::trace`]
-    /// returns) over a window of `span` cycles; the window is widened to
-    /// cover the last command if `span` is too small, so fractions never
-    /// exceed 1.
-    pub fn from_commands(trace: &[IssuedCommand], cfg: &DramConfig, span: Cycle) -> Self {
+/// Incremental attribution: the same linear fold [`from_commands`]
+/// performs, exposed batch-by-batch so a serving run can attribute its
+/// command stream *as it happens* instead of retaining every command
+/// until the end. State is fixed-size (the accumulator plus one
+/// last-opened-row slot per bank), so long streamed runs stay bounded.
+///
+/// Equivalence: folding batches `b₀, b₁, …` (each with its dispatch-cycle
+/// offset) and taking [`snapshot`] produces *exactly* the
+/// [`CommandAttribution`] that [`from_commands`] computes over the
+/// concatenated, offset-shifted trace — the fold carries no cross-command
+/// state other than the accumulator and per-bank open rows.
+///
+/// [`from_commands`]: CommandAttribution::from_commands
+/// [`snapshot`]: AttributionBuilder::snapshot
+#[derive(Debug, Clone)]
+pub struct AttributionBuilder {
+    topo: Topology,
+    t: TimingParams,
+    acc: CommandAttribution,
+    last_row: Vec<Option<u32>>,
+}
+
+impl AttributionBuilder {
+    /// An empty builder for one channel of `cfg`.
+    pub fn new(cfg: &DramConfig) -> Self {
         let topo = cfg.topology;
-        let t = cfg.timing;
-        let mut a = CommandAttribution {
-            pe: PeBusy {
-                rank: vec![0; topo.ranks as usize],
-                bank_group: vec![0; (topo.ranks * topo.bank_groups) as usize],
-                bank: vec![0; topo.banks_per_channel() as usize],
+        Self {
+            topo,
+            t: cfg.timing,
+            acc: CommandAttribution {
+                pe: PeBusy {
+                    rank: vec![0; topo.ranks as usize],
+                    bank_group: vec![0; (topo.ranks * topo.bank_groups) as usize],
+                    bank: vec![0; topo.banks_per_channel() as usize],
+                },
+                ..Default::default()
             },
-            ..Default::default()
-        };
-        let mut span = span;
-        let mut last_row: Vec<Option<u32>> = vec![None; topo.banks_per_channel() as usize];
+            last_row: vec![None; topo.banks_per_channel() as usize],
+        }
+    }
+
+    /// Folds one batch of commands, shifting each command's issue cycle
+    /// by `offset` (the batch's dispatch cycle) when widening the
+    /// analysis window — exactly what attributing the pre-shifted
+    /// concatenated trace would do.
+    pub fn fold(&mut self, trace: &[IssuedCommand], offset: Cycle) {
+        let topo = self.topo;
+        let t = self.t;
+        let a = &mut self.acc;
         for ic in trace {
             let addr = ic.command.addr;
             let flat = addr.flat_bank(&topo) as usize;
             a.commands += 1;
             a.ca_busy += 1;
-            span = span.max(ic.cycle + crate::traceviz::display_duration(ic.command.kind, &t));
+            a.span = a
+                .span
+                .max(offset + ic.cycle + crate::traceviz::display_duration(ic.command.kind, &t));
             match ic.command.kind {
                 CommandKind::Act | CommandKind::ActSa => {
                     a.activates += 1;
                     a.trcd += t.t_rcd;
-                    if let Some(prev) = last_row[flat] {
+                    if let Some(prev) = self.last_row[flat] {
                         if prev != addr.row {
                             a.bank_conflicts += 1;
                             a.bank_conflict_cycles += t.t_rp + t.t_rcd;
                         }
                     }
-                    last_row[flat] = Some(addr.row);
+                    self.last_row[flat] = Some(addr.row);
                 }
                 CommandKind::Pre => {
                     a.precharges += 1;
@@ -138,8 +171,32 @@ impl CommandAttribution {
                 CommandKind::Ref => a.refreshes += 1,
             }
         }
-        a.span = span;
+    }
+
+    /// Commands folded so far.
+    pub fn commands(&self) -> u64 {
+        self.acc.commands
+    }
+
+    /// The attribution over a window of `span` cycles (widened to cover
+    /// the last folded command, so fractions never exceed 1). The builder
+    /// keeps accumulating afterwards.
+    pub fn snapshot(&self, span: Cycle) -> CommandAttribution {
+        let mut a = self.acc.clone();
+        a.span = span.max(self.acc.span);
         a
+    }
+}
+
+impl CommandAttribution {
+    /// Attributes `trace` (cycle-sorted, as [`crate::Controller::trace`]
+    /// returns) over a window of `span` cycles; the window is widened to
+    /// cover the last command if `span` is too small, so fractions never
+    /// exceed 1. One-shot form of [`AttributionBuilder`].
+    pub fn from_commands(trace: &[IssuedCommand], cfg: &DramConfig, span: Cycle) -> Self {
+        let mut b = AttributionBuilder::new(cfg);
+        b.fold(trace, 0);
+        b.snapshot(span)
     }
 
     /// `cycles / span` as a fraction in `[0, 1]`; 0 for an empty window.
@@ -307,6 +364,46 @@ mod tests {
         let a = CommandAttribution::from_commands(&ctl.trace().unwrap(), &cfg, 0);
         assert!(a.span > 0);
         assert!(a.fraction(a.ca_busy) <= 1.0);
+    }
+
+    #[test]
+    fn incremental_builder_matches_one_shot_attribution() {
+        let cfg = DramConfig::ddr5_4800();
+        // Three "batches" of traffic with row conflicts crossing batch
+        // boundaries (row 10 → 20 → 10 on the same bank), dispatched at
+        // increasing offsets.
+        let batches: Vec<(Cycle, Vec<IssuedCommand>)> = [(10u32, 0u64), (20, 1000), (10, 2500)]
+            .iter()
+            .map(|&(row, offset)| {
+                let mut ctl = Controller::new(cfg.clone(), SchedulePolicy::FrFcfs);
+                ctl.record_trace();
+                ctl.enqueue(host_read(1, row, 0));
+                ctl.enqueue(host_read(2, row, 64));
+                ctl.run();
+                (offset, ctl.trace().unwrap().to_vec())
+            })
+            .collect();
+
+        let mut builder = AttributionBuilder::new(&cfg);
+        let mut concatenated: Vec<IssuedCommand> = Vec::new();
+        for (offset, cmds) in &batches {
+            builder.fold(cmds, *offset);
+            concatenated.extend(cmds.iter().map(|ic| {
+                let mut ic = *ic;
+                ic.cycle += offset;
+                ic
+            }));
+        }
+        for span in [0, 5_000] {
+            let incremental = builder.snapshot(span);
+            let one_shot = CommandAttribution::from_commands(&concatenated, &cfg, span);
+            assert_eq!(incremental, one_shot);
+            assert_eq!(incremental.to_json(), one_shot.to_json());
+        }
+        // Conflicts crossed batch boundaries (10→20 and 20→10), proving
+        // the builder carries open-row state across fold calls.
+        assert_eq!(builder.snapshot(0).bank_conflicts, 2);
+        assert_eq!(builder.commands(), concatenated.len() as u64);
     }
 
     #[test]

@@ -11,14 +11,26 @@
 //! [`Recorder::disabled`]), so the hot simulation path pays nothing when
 //! tracing is off.
 //!
-//! Two consumers sit on top:
+//! The recorder is a *producer*: everything downstream is an
+//! [`EventSink`] attached to it (see the [`mod@sink`] module):
 //!
-//! * [`write_chrome_trace`] exports the whole forest as a Chrome-trace /
-//!   Perfetto JSON file (root tracks become processes, descendants become
-//!   threads) that loads directly in `ui.perfetto.dev`;
-//! * the raw [`Event`] stream, which downstream crates fold into
-//!   deterministic summary reports (bottleneck attribution lives next to
-//!   the DRAM command model in `recross-dram`, not here).
+//! * [`MemorySink`] retains the raw [`Event`] stream (the default, via
+//!   [`Recorder::new`]) for after-the-fact export and validation;
+//! * [`ChromeStreamSink`] streams the forest as a Chrome-trace /
+//!   Perfetto JSON file (root tracks become processes, descendants
+//!   become threads) in bounded memory — [`write_chrome_trace`] is the
+//!   same formatter replayed over a buffered recorder, so streamed and
+//!   in-memory exports are byte-identical;
+//! * [`RingSink`] keeps only the newest N events with an explicit drop
+//!   counter;
+//! * [`agg::Aggregator`] folds the stream into online summaries —
+//!   per-tenant time-in-queue/-service histograms (the log-scale
+//!   [`hist::LatencyHistogram`] lives here too), per-channel busy
+//!   fractions, span-duration stats, counter-gauge percentiles — without
+//!   retaining events.
+//!
+//! Cycle-level bottleneck attribution lives next to the DRAM command
+//! model in `recross-dram`, not here.
 //!
 //! # Determinism
 //!
@@ -27,7 +39,8 @@
 //! formatting, strings are interned in first-use order, track and event
 //! order is recording order, and floats in counter samples are printed
 //! with the same shortest-round-trip formatting the rest of the workspace
-//! uses ([`fmt_f64`]). Two identical runs produce identical trace files.
+//! uses ([`fmt_f64`]). Two identical runs produce identical trace files —
+//! whether buffered or streamed.
 //!
 //! ```
 //! use recross_obs::Recorder;
@@ -41,13 +54,31 @@
 //! let json = recross_obs::chrome_trace_string(&rec, 0.4167);
 //! assert!(json.starts_with("[\n"));
 //! ```
+//!
+//! Streaming the same events instead (no retention, bounded memory):
+//!
+//! ```
+//! use recross_obs::{ChromeStreamSink, Recorder, SharedWriter};
+//!
+//! let out = SharedWriter::new();
+//! let mut rec = Recorder::unbuffered();
+//! rec.attach(Box::new(ChromeStreamSink::new(out.clone(), 0.4167)));
+//! let sys = rec.track("system", None);
+//! rec.span(sys, "job", 100, 250);
+//! rec.finish().unwrap();
+//! assert!(out.contents().starts_with("[\n"));
+//! ```
 
 #![deny(missing_docs)]
 
+pub mod agg;
 mod chrome;
+pub mod hist;
 mod json;
 mod recorder;
+pub mod sink;
 
-pub use chrome::{chrome_trace_string, write_chrome_trace};
+pub use chrome::{chrome_trace_string, write_chrome_trace, ChromeStreamSink, STREAM_CHUNK};
 pub use json::{fmt_f64, json_string};
 pub use recorder::{Event, EventKind, Recorder, StrId, TrackId};
+pub use sink::{EventSink, MemorySink, RingSink, SharedWriter, SinkStats};

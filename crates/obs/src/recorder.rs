@@ -1,7 +1,11 @@
 //! The structured-event recorder: interned strings, a track forest, and
-//! an append-only event stream.
+//! an append-only event stream fanned out to attached
+//! [`EventSink`](crate::EventSink)s.
 
 use std::collections::HashMap;
+use std::io;
+
+use crate::sink::{EventSink, MemorySink, SinkStats};
 
 /// Handle to an interned string (see [`Recorder::intern`]).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,18 +60,41 @@ struct Track {
 
 /// A deterministic structured-event recorder.
 ///
+/// The recorder is the *producer* half of the pipeline: it owns the
+/// interning table and the track forest, and fans every recorded event
+/// out to its attached [`EventSink`]s. [`Recorder::new`] installs a
+/// [`MemorySink`] so the classic in-memory workflow (`events()`,
+/// `validate()`, export-after-the-fact) works unchanged;
+/// [`Recorder::unbuffered`] starts with no sinks at all for
+/// bounded-memory streaming runs.
+///
 /// All mutating methods are no-ops on a recorder built with
-/// [`Recorder::disabled`]; none of them allocate in that state (checked
-/// by [`Recorder::heap_capacity`], which stays `0`). Hot paths that would
+/// [`Recorder::disabled`]; none of them allocate in that state — even
+/// [`Recorder::attach`] is a no-op, so a disabled recorder with sinks
+/// "attached" still holds zero heap (checked by
+/// [`Recorder::heap_capacity`], which stays `0`). Hot paths that would
 /// allocate just to *format* an event name should additionally guard on
 /// [`Recorder::is_enabled`].
-#[derive(Debug, Clone)]
 pub struct Recorder {
     enabled: bool,
     strings: Vec<String>,
     lookup: HashMap<String, StrId>,
     tracks: Vec<Track>,
-    events: Vec<Event>,
+    sinks: Vec<Box<dyn EventSink>>,
+}
+
+impl std::fmt::Debug for Recorder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Recorder")
+            .field("enabled", &self.enabled)
+            .field("strings", &self.strings.len())
+            .field("tracks", &self.tracks.len())
+            .field(
+                "sinks",
+                &self.sinks.iter().map(|s| s.kind()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
 }
 
 impl Default for Recorder {
@@ -77,14 +104,28 @@ impl Default for Recorder {
 }
 
 impl Recorder {
-    /// An enabled, empty recorder.
+    /// An enabled, empty recorder with the default in-memory sink (every
+    /// event retained; `events()` and `validate()` work).
     pub fn new() -> Self {
+        let mut rec = Self::unbuffered();
+        rec.sinks.push(Box::new(MemorySink::new()));
+        rec
+    }
+
+    /// An enabled recorder with *no* sinks: events vanish until something
+    /// is [`attach`](Recorder::attach)ed. This is the streaming
+    /// configuration — attach a
+    /// [`ChromeStreamSink`](crate::ChromeStreamSink) (and/or an
+    /// [`Aggregator`](crate::agg::Aggregator)) and the resident footprint
+    /// stays bounded by the interning/track tables regardless of run
+    /// length.
+    pub fn unbuffered() -> Self {
         Self {
             enabled: true,
             strings: Vec::new(),
             lookup: HashMap::new(),
             tracks: Vec::new(),
-            events: Vec::new(),
+            sinks: Vec::new(),
         }
     }
 
@@ -94,7 +135,7 @@ impl Recorder {
     pub fn disabled() -> Self {
         Self {
             enabled: false,
-            ..Self::new()
+            ..Self::unbuffered()
         }
     }
 
@@ -103,14 +144,94 @@ impl Recorder {
         self.enabled
     }
 
+    /// Attaches a sink. The sink is first caught up on everything already
+    /// recorded — all interned strings and tracks, plus any events a
+    /// [`MemorySink`] retained (events recorded before attach on an
+    /// unbuffered recorder are gone and stay gone) — then receives the
+    /// live stream.
+    ///
+    /// No-op on a disabled recorder: the box is dropped without
+    /// allocating, preserving the zero-allocation guarantee.
+    pub fn attach(&mut self, mut sink: Box<dyn EventSink>) {
+        if !self.enabled {
+            return;
+        }
+        self.replay(&mut *sink);
+        self.sinks.push(sink);
+    }
+
+    /// Detaches every [`MemorySink`], dropping the retained events. After
+    /// this, `events()` is empty and stays empty — use it to convert a
+    /// recorder to streaming-only *before* recording starts.
+    pub fn unbuffer(&mut self) {
+        self.sinks.retain(|s| s.as_memory().is_none());
+    }
+
+    /// Feeds a sink the recorder's current state: every interned string
+    /// (in id order), every track (in id order, parents first), then
+    /// every retained event in recording order. This is how the in-memory
+    /// and streaming exporters are guaranteed byte-identical: the
+    /// in-memory path *is* a replay through the streaming sink.
+    pub fn replay(&self, sink: &mut dyn EventSink) {
+        for (i, s) in self.strings.iter().enumerate() {
+            sink.on_string(StrId(i as u32), s);
+        }
+        for (i, t) in self.tracks.iter().enumerate() {
+            sink.on_track(TrackId(i as u32), t.name, t.parent);
+        }
+        for e in self.events() {
+            sink.on_event(e);
+        }
+    }
+
+    /// Finalizes every attached sink (flushes streamed output, writes
+    /// trailing metadata). Returns the first error but still finishes the
+    /// remaining sinks.
+    pub fn finish(&mut self) -> io::Result<()> {
+        let mut first_err = None;
+        for sink in &mut self.sinks {
+            if let Err(e) = sink.finish() {
+                if first_err.is_none() {
+                    first_err = Some(e);
+                }
+            }
+        }
+        match first_err {
+            Some(e) => Err(e),
+            None => Ok(()),
+        }
+    }
+
+    /// Per-sink accounting (kind, drop counter, resident heap), in attach
+    /// order.
+    pub fn sink_stats(&self) -> Vec<SinkStats> {
+        self.sinks
+            .iter()
+            .map(|s| SinkStats {
+                kind: s.kind(),
+                dropped: s.dropped(),
+                heap_capacity: s.heap_capacity(),
+            })
+            .collect()
+    }
+
+    /// Total events dropped across all sinks (`0` means every sink saw
+    /// the complete stream).
+    pub fn dropped_events(&self) -> u64 {
+        self.sinks.iter().map(|s| s.dropped()).sum()
+    }
+
     /// Total heap capacity (in entries) held by the recorder's internal
-    /// storage — `0` for a disabled recorder no matter how many events
-    /// were offered to it (the zero-allocation guarantee).
+    /// storage and its sinks — `0` for a disabled recorder no matter how
+    /// many events (or sinks) were offered to it (the zero-allocation
+    /// guarantee). For a streaming recorder this is the bounded resident
+    /// footprint: interning + track tables plus each sink's fixed chunk.
     pub fn heap_capacity(&self) -> usize {
         self.strings.capacity()
             + self.lookup.capacity()
             + self.tracks.capacity()
-            + self.events.capacity()
+            + self.sinks.capacity()
+            + self.sinks.iter().map(|s| s.heap_capacity()).sum::<usize>()
     }
 
     /// Interns `s`, returning a stable handle; repeated interning of the
@@ -125,6 +246,9 @@ impl Recorder {
         let id = StrId(u32::try_from(self.strings.len()).expect("string table overflow"));
         self.strings.push(s.to_string());
         self.lookup.insert(s.to_string(), id);
+        for sink in &mut self.sinks {
+            sink.on_string(id, s);
+        }
         id
     }
 
@@ -154,6 +278,9 @@ impl Recorder {
         let name = self.intern(name);
         let id = TrackId(u32::try_from(self.tracks.len()).expect("track table overflow"));
         self.tracks.push(Track { name, parent });
+        for sink in &mut self.sinks {
+            sink.on_track(id, name, parent);
+        }
         id
     }
 
@@ -174,12 +301,15 @@ impl Recorder {
 
     fn push(&mut self, track: TrackId, name: StrId, ts: u64, kind: EventKind) {
         debug_assert!((track.0 as usize) < self.tracks.len(), "event on unknown track");
-        self.events.push(Event {
+        let e = Event {
             track,
             name,
             ts,
             kind,
-        });
+        };
+        for sink in &mut self.sinks {
+            sink.on_event(&e);
+        }
     }
 
     /// Records a complete span `[start, end]` on `track`.
@@ -232,19 +362,26 @@ impl Recorder {
         self.push(track, name, ts, EventKind::Counter { value });
     }
 
-    /// The recorded events, in recording order.
+    /// The recorded events, in recording order — read from the first
+    /// attached [`MemorySink`]; empty for unbuffered (streaming-only)
+    /// recorders.
     pub fn events(&self) -> &[Event] {
-        &self.events
+        self.sinks
+            .iter()
+            .find_map(|s| s.as_memory())
+            .map(|m| m.events())
+            .unwrap_or(&[])
     }
 
     /// Checks the stream is well formed: every event sits on a known
     /// track, per-track timestamps are nondecreasing in recording order,
     /// and every [`EventKind::Begin`] has a matching [`EventKind::End`]
     /// (balanced, stack-nested, per track). Returns the first violation.
+    /// Only sees what a [`MemorySink`] retained (nothing, if unbuffered).
     pub fn validate(&self) -> Result<(), String> {
         let mut last_ts: Vec<Option<u64>> = vec![None; self.tracks.len()];
         let mut open: Vec<u32> = vec![0; self.tracks.len()];
-        for (i, e) in self.events.iter().enumerate() {
+        for (i, e) in self.events().iter().enumerate() {
             let t = e.track.0 as usize;
             if t >= self.tracks.len() {
                 return Err(format!("event {i} on unknown track {t}"));
@@ -288,6 +425,7 @@ impl Recorder {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::sink::RingSink;
 
     #[test]
     fn interning_is_stable_and_deduplicated() {
@@ -302,9 +440,13 @@ mod tests {
     }
 
     #[test]
-    fn disabled_recorder_never_allocates() {
+    fn disabled_recorder_never_allocates_even_with_sinks_attached() {
         let mut rec = Recorder::disabled();
         assert!(!rec.is_enabled());
+        // Attach is a no-op while disabled: the boxes are dropped, the
+        // sink list never allocates.
+        rec.attach(Box::new(RingSink::new(64)));
+        rec.attach(Box::new(MemorySink::new()));
         let t = rec.track("root", None);
         let c = rec.track("child", Some(t));
         for i in 0..10_000u64 {
@@ -317,11 +459,71 @@ mod tests {
         }
         assert_eq!(rec.events().len(), 0);
         assert_eq!(rec.track_count(), 0);
+        assert!(rec.sink_stats().is_empty());
         assert_eq!(
             rec.heap_capacity(),
             0,
             "disabled recorder must not touch the heap"
         );
+    }
+
+    #[test]
+    fn attach_catches_a_sink_up_on_retained_state() {
+        let mut rec = Recorder::new();
+        let t = rec.track("root", None);
+        rec.instant(t, "before", 1);
+        // The ring attached mid-run still sees the earlier event (the
+        // memory sink retained it) and everything after.
+        rec.attach(Box::new(RingSink::new(8)));
+        rec.instant(t, "after", 2);
+        let stats = rec.sink_stats();
+        assert_eq!(stats.len(), 2);
+        assert_eq!(stats[0].kind, "memory");
+        assert_eq!(stats[1].kind, "ring");
+        assert_eq!(rec.events().len(), 2);
+        // Ring heap holds both events: catch-up delivered "before".
+        assert!(stats[1].heap_capacity >= 2);
+    }
+
+    #[test]
+    fn unbuffered_recorder_retains_tables_but_no_events() {
+        let mut rec = Recorder::unbuffered();
+        let t = rec.track("root", None);
+        for i in 0..1_000u64 {
+            rec.instant(t, "tick", i);
+        }
+        assert_eq!(rec.events().len(), 0, "no memory sink, nothing retained");
+        assert_eq!(rec.track_count(), 1);
+        let tick = rec.intern("tick");
+        assert_eq!(rec.string(tick), "tick");
+        assert_eq!(rec.validate(), Ok(()), "validate sees the empty stream");
+        assert_eq!(rec.finish().ok(), Some(()));
+    }
+
+    #[test]
+    fn unbuffer_drops_only_memory_sinks() {
+        let mut rec = Recorder::new();
+        rec.attach(Box::new(RingSink::new(4)));
+        let t = rec.track("root", None);
+        rec.instant(t, "x", 1);
+        assert_eq!(rec.events().len(), 1);
+        rec.unbuffer();
+        assert_eq!(rec.events().len(), 0);
+        let stats = rec.sink_stats();
+        assert_eq!(stats.len(), 1);
+        assert_eq!(stats[0].kind, "ring");
+    }
+
+    #[test]
+    fn replay_reproduces_the_stream_in_order() {
+        let mut rec = Recorder::new();
+        let root = rec.track("root", None);
+        let child = rec.track("child", Some(root));
+        rec.span(child, "work", 0, 10);
+        rec.instant(root, "tick", 5);
+        let mut copy = MemorySink::new();
+        rec.replay(&mut copy);
+        assert_eq!(copy.events(), rec.events());
     }
 
     #[test]

@@ -114,7 +114,7 @@ pub mod tenant;
 pub use arrival::ArrivalProcess;
 pub use batch::{Batcher, BatcherConfig, QueuePolicy, QueuedJob};
 pub use hist::LatencyHistogram;
-pub use obs::{LifecycleTotals, ObsChannel, ObsReport, ServeObs};
+pub use obs::{LifecycleTotals, ObsChannel, ObsReport, ObsTenant, ServeObs};
 pub use report::{ChannelReport, ServeReport, TenantReport};
 pub use sim::{
     open_sessions, simulate, simulate_sessions, simulate_sessions_obs, simulate_tenant_sessions,

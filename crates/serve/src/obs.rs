@@ -25,13 +25,32 @@
 //! microseconds only at export, so traced runs are byte-identical across
 //! reruns — and the simulation itself is priced identically with tracing
 //! on or off (asserted in `sim`'s tests).
+//!
+//! # Long runs: streaming and online aggregation
+//!
+//! By default the recorder buffers every event for after-the-fact export.
+//! For long runs, configure the sinks *before* the simulation instead:
+//! [`ServeObs::stream_to`] attaches a bounded-memory streaming Perfetto
+//! exporter (byte-identical output to the in-memory path),
+//! [`ServeObs::unbuffer`] drops the in-memory buffer,
+//! [`ServeObs::ring_buffer`] keeps only the newest N events with an
+//! explicit drop counter, and [`ServeObs::enable_agg`] folds the stream
+//! into [`Aggregates`] online. Call [`ServeObs::finish`] after the run to
+//! flush streamed output. The [`ObsReport`] carries the recorder's heap
+//! high-water mark and per-sink drop counters, so capped captures are
+//! visibly capped.
 
+use std::cell::RefCell;
 use std::io::Write;
+use std::rc::Rc;
 
+use recross_dram::attribution::AttributionBuilder;
 use recross_dram::traceviz::{dram_tracks, record_commands, DramTracks};
 use recross_dram::{CommandAttribution, Cycle, DramConfig, IssuedCommand};
-use recross_obs::{Recorder, TrackId};
+use recross_obs::agg::{parse_fate, Aggregates, Aggregator};
+use recross_obs::{ChromeStreamSink, Recorder, RingSink, SinkStats, TrackId};
 
+use crate::hist::LatencyHistogram;
 use crate::report::{fmt_f64, json_string, ServeReport};
 
 /// Request-fate tallies accumulated while synthesizing request lanes;
@@ -68,9 +87,21 @@ struct ChannelTracks {
     server: TrackId,
     depth: TrackId,
     dram: Option<DramTracks>,
-    /// Commands issued by this channel's dispatches, offset to
-    /// simulation time (for post-hoc attribution).
-    commands: Vec<IssuedCommand>,
+    /// Incremental attribution over this channel's dispatched command
+    /// streams (folded batch-by-batch, so no command is retained).
+    attr: Option<AttributionBuilder>,
+}
+
+/// Per-tenant lifecycle accumulators (fates + queue/service timing),
+/// filled as request spans are recorded.
+#[derive(Debug, Clone, Default)]
+struct TenantStats {
+    completed: u64,
+    late: u64,
+    queue_shed: u64,
+    deadline_shed: u64,
+    queue: LatencyHistogram,
+    service: LatencyHistogram,
 }
 
 /// The cross-layer trace recorder for one serving run.
@@ -86,8 +117,11 @@ pub struct ServeObs {
     trace_dram: bool,
     begun: bool,
     groups: Vec<LaneGroup>,
+    group_names: Vec<String>,
     channels: Vec<ChannelTracks>,
     totals: LifecycleTotals,
+    tenant_stats: Vec<TenantStats>,
+    agg: Option<Rc<RefCell<Aggregator>>>,
 }
 
 impl ServeObs {
@@ -102,9 +136,82 @@ impl ServeObs {
             trace_dram: true,
             begun: false,
             groups: Vec::new(),
+            group_names: Vec::new(),
             channels: Vec::new(),
             totals: LifecycleTotals::default(),
+            tenant_stats: Vec::new(),
+            agg: None,
         }
+    }
+
+    /// Attaches a bounded-memory streaming Perfetto exporter writing to
+    /// `w`: events are rendered to Chrome-trace JSON as they are recorded
+    /// and flushed in fixed chunks, producing bytes identical to
+    /// [`chrome_trace_string`](Self::chrome_trace_string) of a buffered
+    /// run. Combine with [`unbuffer`](Self::unbuffer) to keep the
+    /// resident footprint bounded, and call [`finish`](Self::finish)
+    /// after the run.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn stream_to<W: Write + 'static>(&mut self, w: W) {
+        assert!(!self.begun, "configure sinks before the simulation");
+        let ns = self.dram.cycles_to_ns(1);
+        self.rec.attach(Box::new(ChromeStreamSink::new(w, ns)));
+    }
+
+    /// Drops the in-memory event buffer: nothing is retained, only
+    /// attached streaming/aggregation sinks see the events. After this,
+    /// [`chrome_trace_string`](Self::chrome_trace_string) exports an
+    /// empty trace — stream instead.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn unbuffer(&mut self) {
+        assert!(!self.begun, "configure sinks before the simulation");
+        self.rec.unbuffer();
+    }
+
+    /// Replaces the unbounded in-memory buffer with a ring retaining only
+    /// the newest `capacity` events; evictions are counted and surfaced
+    /// in the [`ObsReport`]'s sink stats (never silent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started or `capacity` is 0.
+    pub fn ring_buffer(&mut self, capacity: usize) {
+        assert!(!self.begun, "configure sinks before the simulation");
+        self.rec.unbuffer();
+        self.rec.attach(Box::new(RingSink::new(capacity)));
+    }
+
+    /// Attaches the online aggregation engine: per-tenant queue/service
+    /// histograms, channel busy fractions, span stats and gauge
+    /// percentiles computed incrementally, readable afterwards via
+    /// [`aggregates`](Self::aggregates).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the simulation has already started.
+    pub fn enable_agg(&mut self) {
+        assert!(!self.begun, "configure sinks before the simulation");
+        let agg = Rc::new(RefCell::new(Aggregator::new()));
+        self.rec.attach(Box::new(Rc::clone(&agg)));
+        self.agg = Some(agg);
+    }
+
+    /// The online aggregates (`None` unless [`enable_agg`](Self::enable_agg)
+    /// was called before the run).
+    pub fn aggregates(&self) -> Option<Aggregates> {
+        self.agg.as_ref().map(|a| a.borrow().snapshot())
+    }
+
+    /// Finalizes all attached sinks (flushes streamed trace files). Call
+    /// once after the simulation; returns the first sink I/O error.
+    pub fn finish(&mut self) -> std::io::Result<()> {
+        self.rec.finish()
     }
 
     /// Enables or disables the DRAM command layer (on by default). With
@@ -172,15 +279,24 @@ impl ServeObs {
                 dispatches: cr.dispatches,
                 queue_shed: cr.shed,
                 deadline_shed: cr.expired,
-                attribution: if self.trace_dram {
-                    Some(CommandAttribution::from_commands(
-                        &ct.commands,
-                        &self.dram,
-                        report.makespan_cycles,
-                    ))
-                } else {
-                    None
-                },
+                attribution: ct
+                    .attr
+                    .as_ref()
+                    .map(|b| b.snapshot(report.makespan_cycles)),
+            })
+            .collect();
+        let tenants = self
+            .group_names
+            .iter()
+            .zip(&self.tenant_stats)
+            .map(|(name, s)| ObsTenant {
+                name: name.clone(),
+                completed: s.completed,
+                late: s.late,
+                queue_shed: s.queue_shed,
+                deadline_shed: s.deadline_shed,
+                time_in_queue: s.queue.clone(),
+                time_in_service: s.service.clone(),
             })
             .collect();
         ObsReport {
@@ -192,6 +308,9 @@ impl ServeObs {
             deadline_shed: self.totals.deadline_shed,
             lifecycle_spans: self.totals.spans,
             makespan_cycles: report.makespan_cycles,
+            heap_capacity: self.rec.heap_capacity(),
+            sinks: self.rec.sink_stats(),
+            tenants,
             channels,
         }
     }
@@ -209,6 +328,8 @@ impl ServeObs {
                 root,
                 lanes: Vec::new(),
             });
+            self.group_names.push(g.clone());
+            self.tenant_stats.push(TenantStats::default());
         }
         for ch in 0..channels {
             let root = self.rec.track(&format!("channel {ch}"), None);
@@ -217,11 +338,14 @@ impl ServeObs {
             let dram = self
                 .trace_dram
                 .then(|| dram_tracks(&mut self.rec, root, &self.dram));
+            let attr = self
+                .trace_dram
+                .then(|| AttributionBuilder::new(&self.dram));
             self.channels.push(ChannelTracks {
                 server,
                 depth,
                 dram,
-                commands: Vec::new(),
+                attr,
             });
         }
     }
@@ -252,17 +376,17 @@ impl ServeObs {
 
     /// Records one dispatch's DRAM command stream (priced at batch-local
     /// cycle 0) offset to simulation time `td`: spans on the channel's
-    /// bank/PE tracks plus the attribution accumulator.
+    /// bank/PE tracks plus an incremental fold into the channel's
+    /// attribution builder — no command is retained.
     pub(crate) fn batch_commands(&mut self, ch: usize, td: Cycle, commands: &[IssuedCommand]) {
         let ct = &mut self.channels[ch];
         let Some(tracks) = ct.dram.as_mut() else {
             return;
         };
         record_commands(&mut self.rec, tracks, &self.dram, commands, td);
-        ct.commands.extend(commands.iter().map(|c| IssuedCommand {
-            command: c.command,
-            cycle: c.cycle + td,
-        }));
+        if let Some(attr) = ct.attr.as_mut() {
+            attr.fold(commands, td);
+        }
     }
 
     /// Records one request's lifecycle span on the first free lane of its
@@ -295,6 +419,33 @@ impl ServeObs {
             self.rec.instant(lane, label, *t);
         }
         self.totals.spans += 1;
+        // Per-tenant accounting, derived from exactly the evidence the
+        // trace records (fate suffix + dispatch instants) so the report's
+        // tenant block and `obs::agg`'s streamed aggregates agree by
+        // construction.
+        if let Some(fate) = parse_fate(name) {
+            let stats = &mut self.tenant_stats[group];
+            match fate {
+                "completed" => stats.completed += 1,
+                "late" => stats.late += 1,
+                "queue-shed" => stats.queue_shed += 1,
+                _ => stats.deadline_shed += 1,
+            }
+            let mut first = None;
+            let mut last = None;
+            for (t, label) in instants {
+                if label.starts_with("dispatch") {
+                    first.get_or_insert(*t);
+                    last = Some(*t);
+                }
+            }
+            if let Some(fd) = first {
+                stats.queue.record(fd.saturating_sub(start));
+            }
+            if let Some(ld) = last {
+                stats.service.record(end.saturating_sub(ld));
+            }
+        }
     }
 
     /// Tallies one resolved request (called alongside
@@ -359,6 +510,56 @@ pub struct ObsChannel {
     pub attribution: Option<CommandAttribution>,
 }
 
+/// Per-tenant slice of an [`ObsReport`]: the four fate counters (which
+/// partition the tenant's requests exactly) and the time-in-queue /
+/// time-in-service histograms. Timing definitions match
+/// [`recross_obs::agg`]: time-in-queue is first dispatch minus arrival,
+/// time-in-service is lifecycle end minus last dispatch, and requests
+/// that never dispatched contribute to counters only.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObsTenant {
+    /// Tenant class name (`requests` for single-class runs).
+    pub name: String,
+    /// Requests that completed by their deadline.
+    pub completed: u64,
+    /// Requests that completed after their deadline.
+    pub late: u64,
+    /// Requests dropped by a full queue.
+    pub queue_shed: u64,
+    /// Requests dropped by deadline shedding.
+    pub deadline_shed: u64,
+    /// First-dispatch minus arrival, per dispatched request (cycles).
+    pub time_in_queue: LatencyHistogram,
+    /// Lifecycle end minus last dispatch, per dispatched request
+    /// (cycles).
+    pub time_in_service: LatencyHistogram,
+}
+
+impl ObsTenant {
+    /// Total requests across the four fates.
+    pub fn requests(&self) -> u64 {
+        self.completed + self.late + self.queue_shed + self.deadline_shed
+    }
+
+    fn to_json(&self) -> String {
+        format!(
+            concat!(
+                "{{\"name\":{},\"requests\":{},\"completed\":{},\"late\":{},",
+                "\"queue_shed\":{},\"deadline_shed\":{},",
+                "\"time_in_queue\":{},\"time_in_service\":{}}}"
+            ),
+            json_string(&self.name),
+            self.requests(),
+            self.completed,
+            self.late,
+            self.queue_shed,
+            self.deadline_shed,
+            self.time_in_queue.summary_json(),
+            self.time_in_service.summary_json()
+        )
+    }
+}
+
 /// Deterministic bottleneck-attribution summary of one traced serving
 /// run — the machine-readable counterpart of the Perfetto timeline.
 #[derive(Debug, Clone, PartialEq)]
@@ -383,6 +584,15 @@ pub struct ObsReport {
     /// Per-channel busy/idle split, queue-depth percentiles, and DRAM
     /// attribution.
     pub channels: Vec<ObsChannel>,
+    /// Per-tenant fate counters and queue/service histograms, in tenant
+    /// declaration order. Fate counters sum to `requests` across tenants.
+    pub tenants: Vec<ObsTenant>,
+    /// Recorder heap high-water mark in bytes (string table, track
+    /// forest, and all attached sinks) at report time.
+    pub heap_capacity: usize,
+    /// Per-sink drop counters and heap footprints at report time. Empty
+    /// for an unbuffered recorder with no sinks attached.
+    pub sinks: Vec<SinkStats>,
 }
 
 impl ObsReport {
@@ -415,11 +625,15 @@ impl ObsReport {
                 )
             })
             .collect();
+        let tenants: Vec<String> = self.tenants.iter().map(|t| t.to_json()).collect();
+        let sinks: Vec<String> = self.sinks.iter().map(|s| s.to_json()).collect();
         format!(
             concat!(
                 "{{\"experiment\":\"serve_trace\",\"arch\":{},\"requests\":{},",
                 "\"completed\":{},\"late\":{},\"queue_shed\":{},\"deadline_shed\":{},",
-                "\"lifecycle_spans\":{},\"makespan_cycles\":{},\"channels\":[{}]}}"
+                "\"lifecycle_spans\":{},\"makespan_cycles\":{},",
+                "\"recorder\":{{\"heap_capacity\":{},\"sinks\":[{}]}},",
+                "\"tenants\":[{}],\"channels\":[{}]}}"
             ),
             json_string(&self.name),
             self.requests,
@@ -429,6 +643,9 @@ impl ObsReport {
             self.deadline_shed,
             self.lifecycle_spans,
             self.makespan_cycles,
+            self.heap_capacity,
+            sinks.join(","),
+            tenants.join(","),
             channels.join(","),
         )
     }
@@ -437,6 +654,36 @@ impl ObsReport {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::report::ChannelReport;
+
+    /// Minimal ServeReport consistent with a hand-driven ServeObs.
+    fn sample_report(channels: usize) -> ServeReport {
+        ServeReport {
+            name: "CPU".into(),
+            requests: 2,
+            shed: 1,
+            makespan_cycles: 100,
+            cycles_per_sec: 2.4e9,
+            offered_qps: 1000.0,
+            latency: LatencyHistogram::new(),
+            depth_series: Vec::new(),
+            channels: vec![
+                ChannelReport {
+                    busy_cycles: 60,
+                    utilization: 0.6,
+                    dispatches: 1,
+                    shed: 1,
+                    expired: 0,
+                    depth_p50: 1,
+                    depth_p99: 1,
+                    depth_max: 1,
+                };
+                channels
+            ],
+            service_cache: Default::default(),
+            tenants: Vec::new(),
+        }
+    }
 
     #[test]
     fn begin_builds_the_track_forest() {
@@ -455,7 +702,7 @@ mod tests {
         obs.begin(1, &["requests".to_string()]);
         assert_eq!(obs.recorder().track_count(), 1 + 3);
         obs.batch_commands(0, 100, &[]);
-        assert!(obs.channels[0].commands.is_empty());
+        assert!(obs.channels[0].attr.is_none());
     }
 
     #[test]
@@ -495,6 +742,21 @@ mod tests {
                 deadline_shed: 0,
                 attribution: None,
             }],
+            tenants: vec![ObsTenant {
+                name: "requests".into(),
+                completed: 2,
+                late: 1,
+                queue_shed: 1,
+                deadline_shed: 0,
+                time_in_queue: LatencyHistogram::new(),
+                time_in_service: LatencyHistogram::new(),
+            }],
+            heap_capacity: 4096,
+            sinks: vec![SinkStats {
+                kind: "memory",
+                dropped: 0,
+                heap_capacity: 4096,
+            }],
         };
         let json = report.to_json();
         assert_eq!(json, report.clone().to_json());
@@ -504,8 +766,59 @@ mod tests {
             "\"lifecycle_spans\":4",
             "\"queue_depth\":{\"p50\":1,\"p99\":3,\"max\":3}",
             "\"dram\":null",
+            "\"recorder\":{\"heap_capacity\":4096,\"sinks\":[{\"kind\":\"memory\",\"dropped\":0,\"heap_capacity\":4096}]}",
+            "\"tenants\":[{\"name\":\"requests\",\"requests\":4,\"completed\":2,\"late\":1,\"queue_shed\":1,\"deadline_shed\":0,",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn request_spans_feed_per_tenant_histograms() {
+        let mut obs = ServeObs::new(DramConfig::ddr5_4800());
+        obs.set_dram_trace(false);
+        obs.begin(1, &["rt".to_string(), "batch".to_string()]);
+        // Tenant 0: dispatched once at 40, completes at 100 → queue 40,
+        // service 60. Tenant 1: shed without ever dispatching.
+        obs.request_span(0, "req#0 completed", 0, 100, &[(40, "dispatch ch0".into())]);
+        obs.request_span(1, "req#1 queue-shed", 10, 10, &[]);
+        obs.tally(RequestFate::Completed);
+        obs.tally(RequestFate::QueueShed);
+        let report = obs.obs_report(&sample_report(obs.channels.len()));
+        assert_eq!(report.tenants.len(), 2);
+        let rt = &report.tenants[0];
+        assert_eq!((rt.completed, rt.requests()), (1, 1));
+        assert_eq!(rt.time_in_queue.quantile(1.0), 40);
+        assert_eq!(rt.time_in_service.quantile(1.0), 60);
+        let batch = &report.tenants[1];
+        assert_eq!((batch.queue_shed, batch.requests()), (1, 1));
+        assert_eq!(batch.time_in_queue.count(), 0);
+        assert_eq!(batch.time_in_service.count(), 0);
+        // The recorder block is populated: buffered recorder retains heap.
+        assert!(report.heap_capacity > 0);
+        assert_eq!(report.sinks.len(), 1);
+        assert_eq!(report.sinks[0].kind, "memory");
+    }
+
+    #[test]
+    fn streaming_sinks_can_replace_the_memory_buffer() {
+        use recross_obs::SharedWriter;
+        let out = SharedWriter::new();
+        let mut obs = ServeObs::new(DramConfig::ddr5_4800());
+        obs.set_dram_trace(false);
+        obs.stream_to(out.clone());
+        obs.unbuffer();
+        obs.enable_agg();
+        obs.begin(1, &["requests".to_string()]);
+        obs.request_span(0, "req#0 completed", 0, 100, &[(40, "dispatch ch0".into())]);
+        obs.finish().unwrap();
+        let bytes = out.contents();
+        assert!(bytes.starts_with("[\n"), "not a chrome trace: {bytes}");
+        assert!(bytes.contains("req#0 completed"));
+        let agg = obs.aggregates().unwrap();
+        assert_eq!(agg.tenants.len(), 1);
+        assert_eq!(agg.tenants[0].completed, 1);
+        // Unbuffered: no memory sink retained, so no replayable events.
+        assert!(obs.recorder().events().is_empty());
     }
 }

@@ -1047,6 +1047,76 @@ mod tests {
         assert_eq!(obs2.obs_report(&traced2).to_json(), summary.to_json());
     }
 
+    /// Streaming export and online aggregation on a two-tenant EDF run:
+    /// the streamed trace is byte-identical to the in-memory export, the
+    /// online aggregates equal a recompute from the full retained trace,
+    /// and the ObsReport tenant blocks agree with the aggregation engine.
+    #[test]
+    fn streamed_trace_and_online_aggregates_match_in_memory_recompute() {
+        use recross_obs::agg::Aggregates;
+        use recross_obs::SharedWriter;
+
+        let (trace, plan, mix, requests, cps) = tenant_setup(96, 4_800_000.0, 7);
+        let dram = DramConfig::ddr5_4800();
+        let cfg = BatcherConfig {
+            max_batch: 8,
+            max_linger: 5_000,
+            queue_depth: 32,
+            policy: QueuePolicy::Edf,
+            shed_expired: true,
+            adaptive_linger: true,
+        };
+        let make = |_: usize, _: &Trace| CpuBaseline::new(dram.clone());
+
+        // Stream + aggregate live while ALSO retaining the in-memory
+        // buffer, so the same run provides both sides of the comparison.
+        let out = SharedWriter::new();
+        let mut sessions = open_sessions(&trace, &plan, make);
+        let mut obs = ServeObs::new(dram.clone());
+        obs.stream_to(out.clone());
+        obs.enable_agg();
+        let report = simulate_tenant_sessions_obs(
+            "CPU", &trace, &plan, &requests, &mix, cfg, cps, &mut sessions, &mut obs,
+        );
+        obs.finish().unwrap();
+
+        // Byte identity: live-streamed file == in-memory export.
+        assert_eq!(out.contents(), obs.chrome_trace_string());
+
+        // Equivalence: online aggregates == recompute from the full trace.
+        let live = obs.aggregates().expect("agg enabled");
+        let replayed = Aggregates::from_recorder(obs.recorder());
+        assert_eq!(live, replayed);
+        assert_eq!(live.to_json(), replayed.to_json());
+
+        // The aggregation engine's view matches both the report and the
+        // ObsReport per-tenant blocks (same evidence, two consumers). The
+        // aggregate makespan tracks the last event's display end, which
+        // can only meet or exceed the report's makespan (DRAM command
+        // spans widen past the last completion, as with attribution).
+        assert!(live.makespan_cycles >= report.makespan_cycles);
+        let summary = obs.obs_report(&report);
+        assert_eq!(live.tenants.len(), summary.tenants.len());
+        for (a, t) in live.tenants.iter().zip(&summary.tenants) {
+            assert_eq!(a.name, t.name);
+            assert_eq!(a.completed, t.completed);
+            assert_eq!(a.late, t.late);
+            assert_eq!(a.queue_shed, t.queue_shed);
+            assert_eq!(a.deadline_shed, t.deadline_shed);
+            assert_eq!(a.time_in_queue, t.time_in_queue);
+            assert_eq!(a.time_in_service, t.time_in_service);
+        }
+        for (a, r) in live.tenants.iter().zip(&report.tenants) {
+            assert_eq!(a.completed, r.completed);
+            assert_eq!(a.late, r.missed);
+            assert_eq!(a.queue_shed, r.queue_shed);
+            assert_eq!(a.deadline_shed, r.deadline_shed);
+        }
+
+        // Drop-free run: every sink saw every event.
+        assert_eq!(obs.recorder().dropped_events(), 0);
+    }
+
     /// Timeline-only mode (DRAM tracing off) still matches the untraced
     /// report and records no bank tracks or attribution.
     #[test]
